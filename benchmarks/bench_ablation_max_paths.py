@@ -1,0 +1,10 @@
+"""Ablation: metapath width (maximum alternative paths)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ablation_max_paths
+
+from conftest import run_scenario
+
+
+def bench_ablation_max_paths(benchmark):
+    run_scenario(benchmark, ablation_max_paths, FULL)

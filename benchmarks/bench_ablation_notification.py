@@ -1,0 +1,10 @@
+"""Ablation: destination- vs router-based notification."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ablation_notification_mode
+
+from conftest import run_scenario
+
+
+def bench_ablation_notification(benchmark):
+    run_scenario(benchmark, ablation_notification_mode, FULL)

@@ -1,0 +1,10 @@
+"""Ablation: solution-matching similarity threshold."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ablation_similarity_threshold
+
+from conftest import run_scenario
+
+
+def bench_ablation_similarity(benchmark):
+    run_scenario(benchmark, ablation_similarity_threshold, FULL)

@@ -1,0 +1,10 @@
+"""Ablation: Threshold_High factor (zone boundaries)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ablation_zone_thresholds
+
+from conftest import run_scenario
+
+
+def bench_ablation_thresholds(benchmark):
+    run_scenario(benchmark, ablation_zone_thresholds, FULL)

@@ -1,0 +1,10 @@
+"""Extension experiment (§5.2 further work): Per policy energy accounting."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_energy
+
+from conftest import run_scenario
+
+
+def bench_ext_energy(benchmark):
+    run_scenario(benchmark, ext_energy, FULL)

@@ -1,0 +1,10 @@
+"""Extension: rank placement (mapping) vs network latency (§3.1)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_mapping
+
+from conftest import run_scenario
+
+
+def bench_ext_mapping(benchmark):
+    run_scenario(benchmark, ext_mapping, FULL)

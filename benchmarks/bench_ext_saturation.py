@@ -1,0 +1,10 @@
+"""Extension: latency-vs-offered-load saturation curves."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_saturation_curve
+
+from conftest import run_scenario
+
+
+def bench_ext_saturation_curve(benchmark):
+    run_scenario(benchmark, ext_saturation_curve, FULL)

@@ -1,0 +1,10 @@
+"""Extension: smaller network footprint (§4.8.5 / §5.1 cost claim)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_slim_network_footprint
+
+from conftest import run_scenario
+
+
+def bench_ext_slim_network_footprint(benchmark):
+    run_scenario(benchmark, ext_slim_network_footprint, FULL)

@@ -1,0 +1,10 @@
+"""Extension experiment (§5.2 further work): Latency trend prediction."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_trend_detection
+
+from conftest import run_scenario
+
+
+def bench_ext_trend_detection(benchmark):
+    run_scenario(benchmark, ext_trend_detection, FULL)

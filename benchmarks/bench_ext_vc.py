@@ -1,0 +1,10 @@
+"""Extension: virtual-channel arbitration vs FIFO link service (§3.2.8)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_virtual_channels
+
+from conftest import run_scenario
+
+
+def bench_ext_virtual_channels(benchmark):
+    run_scenario(benchmark, ext_virtual_channels, FULL)

@@ -1,0 +1,10 @@
+"""Extension experiment (§5.2 further work): Warm started PR DRB."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_warm_start
+
+from conftest import run_scenario
+
+
+def bench_ext_warm_start(benchmark):
+    run_scenario(benchmark, ext_warm_start, FULL)

@@ -1,0 +1,10 @@
+"""Figs 2.10-2.13: communication matrices (TDC, diagonal structure)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_2_10_13_comm_matrices
+
+from conftest import run_scenario
+
+
+def bench_fig_2_10_13_comm_matrices(benchmark):
+    run_scenario(benchmark, fig_2_10_13_comm_matrices, FULL)

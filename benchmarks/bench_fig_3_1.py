@@ -1,0 +1,10 @@
+"""Fig 3.1: PR-DRB overview - learning burst then faster reaction."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_3_1_overview
+
+from conftest import run_scenario
+
+
+def bench_fig_3_1_overview(benchmark):
+    run_scenario(benchmark, fig_3_1_overview, FULL)

@@ -1,0 +1,10 @@
+"""Figs 4.10-4.11: mesh hot-spot latency maps, DRB vs PR-DRB."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_10_11_latency_map_mesh
+
+from conftest import run_scenario
+
+
+def bench_fig_4_10_11_latency_map_mesh(benchmark):
+    run_scenario(benchmark, fig_4_10_11_latency_map_mesh, FULL)

@@ -1,0 +1,10 @@
+"""Fig 4.12: average latency over repeated bursts on the mesh."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_12_mesh_avg_latency
+
+from conftest import run_scenario
+
+
+def bench_fig_4_12_mesh_avg_latency(benchmark):
+    run_scenario(benchmark, fig_4_12_mesh_avg_latency, FULL)

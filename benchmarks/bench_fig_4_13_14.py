@@ -1,0 +1,10 @@
+"""Figs 4.13-4.14: fat-tree perfect shuffle, 32 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_13_14_shuffle_32
+
+from conftest import run_scenario
+
+
+def bench_fig_4_13_14_shuffle_32(benchmark):
+    run_scenario(benchmark, fig_4_13_14_shuffle_32, FULL)

@@ -1,0 +1,10 @@
+"""Figs 4.15-4.16: fat-tree bit reversal, 32 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_15_16_bitrev_32
+
+from conftest import run_scenario
+
+
+def bench_fig_4_15_16_bitrev_32(benchmark):
+    run_scenario(benchmark, fig_4_15_16_bitrev_32, FULL)

@@ -1,0 +1,10 @@
+"""Figs 4.17-4.18: fat-tree matrix transpose, 64 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_17_18_transpose_64
+
+from conftest import run_scenario
+
+
+def bench_fig_4_17_18_transpose_64(benchmark):
+    run_scenario(benchmark, fig_4_17_18_transpose_64, FULL)

@@ -1,0 +1,10 @@
+"""Fig 4.20: NAS LU latency map (deterministic / DRB / PR-DRB)."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_20_nas_lu_map
+
+from conftest import run_scenario
+
+
+def bench_fig_4_20_nas_lu_map(benchmark):
+    run_scenario(benchmark, fig_4_20_nas_lu_map, FULL)

@@ -1,0 +1,10 @@
+"""Fig 4.21: NAS MG global latency and execution time, classes S/A/B."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_21_nas_mg
+
+from conftest import run_scenario
+
+
+def bench_fig_4_21_nas_mg(benchmark):
+    run_scenario(benchmark, fig_4_21_nas_mg, FULL)

@@ -1,0 +1,10 @@
+"""Figs 4.22-4.23: NAS MG per-router contention latency."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_22_23_mg_router_contention
+
+from conftest import run_scenario
+
+
+def bench_fig_4_22_23_mg_router_contention(benchmark):
+    run_scenario(benchmark, fig_4_22_23_mg_router_contention, FULL)

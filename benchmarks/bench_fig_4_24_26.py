@@ -1,0 +1,10 @@
+"""Figs 4.24-4.26: LAMMPS maps, global latency and pattern statistics."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_24_26_lammps
+
+from conftest import run_scenario
+
+
+def bench_fig_4_24_26_lammps(benchmark):
+    run_scenario(benchmark, fig_4_24_26_lammps, FULL)

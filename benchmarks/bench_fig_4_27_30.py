@@ -1,0 +1,10 @@
+"""Figs 4.27-4.30: POP under all seven routing policies."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_27_30_pop
+
+from conftest import run_scenario
+
+
+def bench_fig_4_27_30_pop(benchmark):
+    run_scenario(benchmark, fig_4_27_30_pop, FULL)

@@ -1,0 +1,10 @@
+"""Figs 4.8-4.9: DRB controlled path-opening procedures."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_4_8_9_path_opening
+
+from conftest import run_scenario
+
+
+def bench_fig_4_8_9_path_opening(benchmark):
+    run_scenario(benchmark, fig_4_8_9_path_opening, FULL)

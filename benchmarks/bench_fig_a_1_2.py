@@ -1,0 +1,10 @@
+"""Figs A.1-A.2: appendix - matrix transpose, 32 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_a_1_2_transpose_32
+
+from conftest import run_scenario
+
+
+def bench_fig_a_1_2_transpose_32(benchmark):
+    run_scenario(benchmark, fig_a_1_2_transpose_32, FULL)

@@ -1,0 +1,10 @@
+"""Fig A.3: appendix - perfect shuffle, 64 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_a_3_shuffle_64
+
+from conftest import run_scenario
+
+
+def bench_fig_a_3_shuffle_64(benchmark):
+    run_scenario(benchmark, fig_a_3_shuffle_64, FULL)

@@ -1,0 +1,10 @@
+"""Fig A.4: appendix - bit reversal, 64 nodes."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import fig_a_4_bitrev_64
+
+from conftest import run_scenario
+
+
+def bench_fig_a_4_bitrev_64(benchmark):
+    run_scenario(benchmark, fig_a_4_bitrev_64, FULL)

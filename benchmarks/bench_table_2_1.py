@@ -1,0 +1,10 @@
+"""Table 2.1: MPI communication-call breakdown across applications."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import table_2_1_mpi_breakdown
+
+from conftest import run_scenario
+
+
+def bench_table_2_1_mpi_breakdown(benchmark):
+    run_scenario(benchmark, table_2_1_mpi_breakdown, FULL)

@@ -1,0 +1,10 @@
+"""Table 2.2: parallel-application phases and repetition weights."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import table_2_2_phases
+
+from conftest import run_scenario
+
+
+def bench_table_2_2_phases(benchmark):
+    run_scenario(benchmark, table_2_2_phases, FULL)

@@ -1,0 +1,10 @@
+"""Table 4.1: synthetic traffic pattern definitions."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import table_4_1_patterns
+
+from conftest import run_scenario
+
+
+def bench_table_4_1_patterns(benchmark):
+    run_scenario(benchmark, table_4_1_patterns, FULL)

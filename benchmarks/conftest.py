@@ -1,0 +1,18 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each bench runs one Chapter-4 experiment at FULL scale exactly once
+(``rounds=1``: these are minutes-long discrete-event simulations, not
+microbenchmarks), prints the paper-vs-measured table, and asserts the
+shape checks recorded by the scenario.
+"""
+
+from __future__ import annotations
+
+
+def run_scenario(benchmark, scenario_fn, scale):
+    result = benchmark.pedantic(scenario_fn, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    failed = [name for name, ok in result.checks if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+    return result

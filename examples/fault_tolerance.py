@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fault tolerance through path redundancy (the FT-DRB capability).
+
+The PR-DRB router design is shared with FT-DRB, the fault-tolerant DRB
+sibling (§3.3.2).  This example shows the behaviour emerging from the
+metapath machinery alone: when a link on the deterministic route dies,
+
+* the deterministic baseline silently loses every packet on that route;
+* the DRB family steers its metapath around the fault (and FR-DRB's
+  watchdog even notices ACK loss without any explicit failure signal).
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.metrics.utilization import measure_utilization
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing import make_policy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+FLOWS = [(0, 7), (8, 15), (16, 23)]  # three west-to-east row flows
+PACKETS = 40
+
+
+def run(policy_name: str, fail: bool) -> dict:
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(8), NetworkConfig(), make_policy(policy_name), sim)
+    if fail:
+        # Cut row 0 in half: the deterministic route of flow 0->7 dies.
+        fabric.fail_link(3, 4)
+    for _ in range(PACKETS):
+        for src, dst in FLOWS:
+            fabric.send(src, dst, 1024)
+    sim.run()
+    util = measure_utilization(fabric, sim.now)
+    return {
+        "delivered": fabric.data_packets_delivered,
+        "dropped": fabric.packets_dropped,
+        "links_used": len(util.links),
+    }
+
+
+def main() -> None:
+    total = PACKETS * len(FLOWS)
+    print(f"{total} packets across three row flows; link (3,0)<->(4,0) fails.\n")
+    print(f"{'policy':13s} {'healthy':>9s} {'faulty':>9s} {'dropped':>8s} {'links used':>11s}")
+    for name in ("deterministic", "drb", "pr-drb"):
+        healthy = run(name, fail=False)
+        faulty = run(name, fail=True)
+        print(
+            f"{name:13s} {healthy['delivered']:7d}/{total} "
+            f"{faulty['delivered']:7d}/{total} {faulty['dropped']:8d} "
+            f"{faulty['links_used']:11d}"
+        )
+    print("\nThe DRB family's alternative paths double as fault tolerance:")
+    print("all packets arrive via detours while the deterministic baseline")
+    print("loses the severed flow entirely.")
+
+
+if __name__ == "__main__":
+    main()

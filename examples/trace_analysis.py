@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Application characterization (Chapter 2: §2.2.4-2.2.6).
+
+Synthesizes logical traces for the thesis' application suite and runs the
+three Chapter-2 analyses on them:
+
+* MPI call breakdown (Table 2.1),
+* phase extraction with repetition weights (Table 2.2, the PAS2P
+  substitute),
+* communication matrices: TDC and diagonal-band structure
+  (Figs 2.10-2.13).
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.apps.commmatrix import CommMatrixStats
+from repro.apps.lammps import lammps_chain_trace, lammps_comb_trace
+from repro.apps.nas import nas_lu_trace, nas_mg_trace
+from repro.apps.phases import detect_phases
+from repro.apps.pop import pop_trace
+from repro.apps.sweep3d import sweep3d_trace
+from repro.mpi.trace import call_breakdown
+
+
+def main() -> None:
+    traces = [
+        pop_trace(num_ranks=64, steps=4),
+        lammps_chain_trace(num_ranks=64, iterations=4),
+        lammps_comb_trace(num_ranks=64, iterations=4),
+        nas_lu_trace(num_ranks=64, problem_class="A", iterations=3),
+        nas_mg_trace(num_ranks=64, problem_class="A", iterations=3),
+        sweep3d_trace(num_ranks=64, iterations=4),
+    ]
+
+    print("== Table 2.1: MPI call breakdown (top calls per application) ==")
+    for trace in traces:
+        breakdown = call_breakdown(trace)
+        top = sorted(breakdown.items(), key=lambda kv: -kv[1])[:4]
+        cols = ", ".join(f"{c}={v * 100:.1f}%" for c, v in top)
+        print(f"  {trace.name:22s} {cols}")
+
+    print("\n== Table 2.2: phases and repetition weights ==")
+    print(f"  {'application':22s} {'total':>6s} {'relevant':>9s} {'weight':>7s}")
+    for trace in traces:
+        report = detect_phases(trace)
+        print(
+            f"  {trace.name:22s} {report.total_phases:6d} "
+            f"{report.relevant_phases:9d} {report.total_weight:7d}"
+        )
+
+    print("\n== Figs 2.10-2.13: communication topology ==")
+    print(f"  {'application':22s} {'mean TDC':>9s} {'max TDC':>8s} {'diag band':>10s}")
+    for trace in traces:
+        stats = CommMatrixStats.from_trace(trace)
+        print(
+            f"  {trace.name:22s} {stats.mean_tdc:9.2f} {stats.max_tdc:8d} "
+            f"{stats.diagonal_band_fraction * 100:9.1f}%"
+        )
+    print("\nInterpretation: LAMMPS chain keeps TDC ~7 independent of scale;")
+    print("Sweep3D is strictly nearest-neighbour (unsuitable for PR-DRB);")
+    print("POP mixes diagonal halos with scattered remote partners and a")
+    print("heavy MPI_Allreduce share - the ideal predictive-routing workload.")
+
+
+if __name__ == "__main__":
+    main()

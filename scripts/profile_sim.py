@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Profile the simulator's hot path.
+
+The HPC-Python discipline: no optimization without measuring.  This
+script cProfiles a representative congested simulation and prints the
+top functions by cumulative and internal time, so changes to the event
+chain (Fabric._arrive / Router.forward) can be checked for regressions.
+
+Usage:  python scripts/profile_sim.py [--events N] [--sort tottime|cumulative]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import io
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing import make_policy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
+
+
+def workload(max_events: int) -> int:
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(8), NetworkConfig(), make_policy("pr-drb"), sim)
+    schedule = BurstSchedule(on_s=3e-4, off_s=3e-4, repetitions=50)
+    flows = [HotSpotFlow(0, 37), HotSpotFlow(8, 45),
+             HotSpotFlow(16, 53), HotSpotFlow(24, 61)]
+    HotSpotWorkload(
+        fabric, flows, rate_bps=1.3e9, schedule=schedule,
+        stop_s=schedule.end_time(), idle_rate_bps=250e6,
+    ).start()
+    sim.run(max_events=max_events)
+    return sim.events_executed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--events", type=int, default=300_000)
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative"])
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    executed = workload(args.events)
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"executed {executed} events\n")
+    print(stream.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""High-level convenience API.
+
+Wraps the lower-level pieces (topology, fabric, policy, recorder, traffic)
+into two calls: :func:`build_network` and :func:`run_synthetic`.  The
+experiment harness and the examples are built on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metrics.recorder import StatsRecorder
+from repro.network.config import NetworkConfig
+from repro.network.fabric import DESTINATION_BASED, Fabric
+from repro.routing import make_policy
+from repro.routing.base import RoutingPolicy
+from repro.sim.engine import Simulator
+from repro.topology.base import Topology
+from repro.topology.fattree import KaryNTree
+from repro.topology.hypercube import Hypercube
+from repro.topology.karycube import KaryNCube
+from repro.topology.mesh import Mesh2D, Torus2D
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+
+@dataclass
+class NetworkHandle:
+    """A ready-to-run simulated network."""
+
+    topology: Topology
+    config: NetworkConfig
+    policy: RoutingPolicy
+    sim: Simulator
+    recorder: StatsRecorder
+    fabric: Fabric
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    handle: NetworkHandle
+    duration_s: float
+    messages_sent: int = 0
+
+    @property
+    def recorder(self) -> StatsRecorder:
+        return self.handle.recorder
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.recorder.mean_latency_s
+
+    @property
+    def global_average_latency_s(self) -> float:
+        return self.recorder.global_average_latency_s
+
+    def summary(self) -> dict:
+        out = self.recorder.summary()
+        out.update(self.handle.policy.stats())
+        out["accepted_ratio"] = self.handle.fabric.accepted_ratio()
+        out["duration_s"] = self.duration_s
+        return out
+
+
+def build_topology(topology: str = "mesh", **kwargs) -> Topology:
+    """Construct a topology by name: mesh / torus / fattree / hypercube."""
+    topology = topology.lower()
+    if topology in ("mesh", "mesh2d"):
+        return Mesh2D(kwargs.get("width", 8), kwargs.get("height", kwargs.get("width", 8)))
+    if topology in ("torus", "torus2d"):
+        return Torus2D(kwargs.get("width", 8), kwargs.get("height", kwargs.get("width", 8)))
+    if topology in ("fattree", "karyntree", "fat-tree"):
+        return KaryNTree(kwargs.get("k", 4), kwargs.get("n", 3))
+    if topology == "hypercube":
+        return Hypercube(kwargs.get("dimensions", 6))
+    if topology in ("karyncube", "torus3d", "cube"):
+        return KaryNCube(kwargs.get("k", 4), kwargs.get("n", 3))
+    if topology in ("slimtree", "slimmed-fattree"):
+        from repro.topology.slimtree import SlimmedKaryNTree
+
+        return SlimmedKaryNTree(
+            kwargs.get("k", 4), kwargs.get("n", 3),
+            kwargs.get("keep_fraction", 0.5),
+        )
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def build_network(
+    topology: str | Topology = "mesh",
+    policy: str | RoutingPolicy = "pr-drb",
+    config: Optional[NetworkConfig] = None,
+    notification: str = DESTINATION_BASED,
+    recorder: Optional[StatsRecorder] = None,
+    **topology_kwargs,
+) -> NetworkHandle:
+    """Assemble simulator + topology + routers + policy + recorder."""
+    if isinstance(topology, str):
+        topology = build_topology(topology, **topology_kwargs)
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    config = config or NetworkConfig()
+    sim = Simulator()
+    recorder = recorder or StatsRecorder()
+    fabric = Fabric(
+        topology, config, policy, sim, recorder=recorder, notification=notification
+    )
+    return NetworkHandle(topology, config, policy, sim, recorder, fabric)
+
+
+def run_synthetic(
+    handle: NetworkHandle,
+    pattern: str = "perfect-shuffle",
+    rate_mbps: float = 400.0,
+    duration_s: float = 1e-3,
+    hosts: Optional[Sequence[int]] = None,
+    schedule: Optional[BurstSchedule] = None,
+    drain_s: float = 5e-4,
+    seed: int = 0,
+) -> RunResult:
+    """Drive ``handle`` with a synthetic pattern and collect metrics.
+
+    ``hosts`` defaults to all hosts when the topology size is a power of
+    two, else the largest power-of-two prefix (permutations are defined on
+    power-of-two node counts).
+    """
+    from repro.sim.rng import RandomStreams
+
+    streams = RandomStreams(seed)
+    n = handle.topology.num_hosts
+    if hosts is None:
+        count = 1 << (n.bit_length() - 1)
+        hosts = range(count)
+    hosts = list(hosts)
+    pat_nodes = 1 << (len(hosts).bit_length() - 1)
+    pat = make_pattern(pattern, pat_nodes, rng=streams.stream("pattern"))
+    schedule = schedule or BurstSchedule(on_s=duration_s, off_s=0.0)
+    source = SyntheticTrafficSource(
+        handle.fabric,
+        pat,
+        hosts=hosts[:pat_nodes],
+        rate_bps=rate_mbps * 1e6,
+        schedule=schedule,
+        stop_s=duration_s,
+        rng=streams.stream("traffic"),
+    )
+    source.start()
+    handle.sim.run(until=duration_s + drain_s)
+    return RunResult(handle=handle, duration_s=duration_s, messages_sent=source.messages_sent)

@@ -1,0 +1,65 @@
+"""Communication-matrix analysis (§2.2.6, Figs 2.10-2.13).
+
+Turns a trace's byte-volume matrix into the statistics the thesis reads
+off its figures: TDC (distinct partners per rank), the fraction of volume
+near the diagonal (the "diagonal band" structure), and the scattered
+remote-communication share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.trace import Trace, communication_matrix, mean_tdc, tdc
+
+
+def band_fraction(matrix: np.ndarray, bandwidth: int) -> float:
+    """Fraction of total volume within ``|src - dst| <= bandwidth``."""
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    n = matrix.shape[0]
+    idx = np.abs(np.subtract.outer(np.arange(n), np.arange(n)))
+    return float(matrix[idx <= bandwidth].sum() / total)
+
+
+@dataclass
+class CommMatrixStats:
+    """Summary of one application's communication topology."""
+
+    name: str
+    matrix: np.ndarray
+    mean_tdc: float
+    max_tdc: int
+    diagonal_band_fraction: float
+    total_bytes: float
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        bandwidth: int = 2,
+        include_collectives: bool = False,
+    ) -> "CommMatrixStats":
+        matrix = communication_matrix(trace, include_collectives=include_collectives)
+        degrees = tdc(matrix)
+        return cls(
+            name=trace.name,
+            matrix=matrix,
+            mean_tdc=mean_tdc(matrix),
+            max_tdc=int(degrees.max()) if degrees.size else 0,
+            diagonal_band_fraction=band_fraction(matrix, bandwidth),
+            total_bytes=float(matrix.sum()),
+        )
+
+    def row(self) -> dict:
+        """Report row for the Fig. 2.10-2.13 reproduction."""
+        return {
+            "application": self.name,
+            "mean_tdc": round(self.mean_tdc, 2),
+            "max_tdc": self.max_tdc,
+            "diag_band_fraction": round(self.diagonal_band_fraction, 3),
+            "total_mbytes": round(self.total_bytes / 1e6, 3),
+        }

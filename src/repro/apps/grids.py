@@ -1,0 +1,112 @@
+"""Rank-grid helpers shared by the application synthesizers.
+
+Scientific codes decompose their domains onto 2-D/3-D process grids; the
+neighbour structure of that grid is what shows up as the diagonal bands of
+the communication matrices (§2.2.6).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def factor_2d(n: int) -> tuple[int, int]:
+    """Most-square 2-D factorization of ``n``."""
+    best = (1, n)
+    for a in range(1, int(math.isqrt(n)) + 1):
+        if n % a == 0:
+            best = (a, n // a)
+    return best
+
+
+def factor_3d(n: int) -> tuple[int, int, int]:
+    """Most-cubic 3-D factorization of ``n``."""
+    best = (1, 1, n)
+    best_score = n
+    for a in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % a:
+            continue
+        for b in range(a, int(math.isqrt(n // a)) + 1):
+            if (n // a) % b:
+                continue
+            c = n // (a * b)
+            score = max(a, b, c) - min(a, b, c)
+            if score < best_score:
+                best_score = score
+                best = tuple(sorted((a, b, c)))
+    return best
+
+
+class Grid2D:
+    """Ranks arranged row-major on a ``width x height`` grid."""
+
+    def __init__(self, num_ranks: int, periodic: bool = False) -> None:
+        self.width, self.height = factor_2d(num_ranks)
+        self.num_ranks = num_ranks
+        self.periodic = periodic
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return rank % self.width, rank // self.width
+
+    def rank(self, x: int, y: int) -> int | None:
+        if self.periodic:
+            return (y % self.height) * self.width + (x % self.width)
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return y * self.width + x
+        return None
+
+    def neighbors4(self, rank: int) -> list[int]:
+        x, y = self.coords(rank)
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nb = self.rank(x + dx, y + dy)
+            if nb is not None and nb != rank:
+                out.append(nb)
+        return out
+
+    def neighbors8(self, rank: int) -> list[int]:
+        x, y = self.coords(rank)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == dy == 0:
+                    continue
+                nb = self.rank(x + dx, y + dy)
+                if nb is not None and nb != rank:
+                    out.append(nb)
+        return list(dict.fromkeys(out))
+
+
+class Grid3D:
+    """Ranks arranged on an ``nx x ny x nz`` grid."""
+
+    def __init__(self, num_ranks: int, periodic: bool = True) -> None:
+        self.nx, self.ny, self.nz = factor_3d(num_ranks)
+        self.num_ranks = num_ranks
+        self.periodic = periodic
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        x = rank % self.nx
+        y = (rank // self.nx) % self.ny
+        z = rank // (self.nx * self.ny)
+        return x, y, z
+
+    def rank(self, x: int, y: int, z: int) -> int | None:
+        if self.periodic:
+            x, y, z = x % self.nx, y % self.ny, z % self.nz
+        elif not (0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz):
+            return None
+        return z * self.nx * self.ny + y * self.nx + x
+
+    def neighbors6(self, rank: int, stride: int = 1) -> list[int]:
+        x, y, z = self.coords(rank)
+        out = []
+        for dx, dy, dz in (
+            (stride, 0, 0), (-stride, 0, 0),
+            (0, stride, 0), (0, -stride, 0),
+            (0, 0, stride), (0, 0, -stride),
+        ):
+            nb = self.rank(x + dx, y + dy, z + dz)
+            if nb is not None and nb != rank:
+                out.append(nb)
+        return list(dict.fromkeys(out))

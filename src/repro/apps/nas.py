@@ -1,0 +1,155 @@
+"""NAS Parallel Benchmark trace synthesizers (§4.8.2; Bailey et al.).
+
+* **LU** — pseudo-application: 2-D wavefront pipeline with small
+  point-to-point messages (the thesis: "long- and short-distance
+  communication", heavily MPI_Send/MPI_Recv, Table 2.1);
+* **MG** — multigrid kernel: 3-D halo exchange whose partner *stride*
+  changes with the grid level (giving both near and far partners) plus a
+  small MPI_Allreduce share;
+* **FT** — all-to-all transpose phases (Table 2.2 lists its few, heavy
+  phases).
+
+Problem classes scale message sizes and iteration counts the way the NAS
+classes S/A/B scale their grids — values are tuned for simulator-scale
+runs, not for matching NAS's absolute byte counts.
+"""
+
+from __future__ import annotations
+
+from repro.apps.grids import Grid2D, Grid3D
+from repro.mpi.events import Allreduce, Bcast, Compute, Recv, Reduce, Send
+from repro.mpi.trace import Trace
+
+#: per-class (message_bytes, iterations) scaling.
+_MG_CLASSES = {"S": (256, 2), "A": (2048, 4), "B": (4096, 6)}
+_LU_CLASSES = {"S": (256, 2), "A": (1024, 4), "B": (2048, 6)}
+_FT_CLASSES = {"S": (512, 1), "A": (1024, 2), "B": (2048, 3)}
+
+#: serial-computation granularity between communications, seconds.
+_COMPUTE_S = 20e-6
+
+
+def nas_mg_trace(
+    num_ranks: int = 64,
+    problem_class: str = "A",
+    iterations: int | None = None,
+) -> Trace:
+    """Multigrid V-cycle: strided 6-neighbour halos, shrinking messages."""
+    size, default_iters = _MG_CLASSES[problem_class.upper()]
+    iterations = iterations or default_iters
+    grid = Grid3D(num_ranks, periodic=True)
+    trace = Trace(
+        f"nas-mg.{problem_class.upper()}.{num_ranks}",
+        num_ranks,
+        metadata={"class": problem_class.upper(), "paper_weight": {"S": 164, "A": 185, "B": 424}[problem_class.upper()]},
+    )
+    max_stride = max(1, min(grid.nx, grid.ny, grid.nz) // 2)
+    strides = [s for s in (1, 2, 4) if s <= max_stride] or [1]
+    for r in trace.ranks():
+        trace.append(r, Bcast(size, root=0))
+        trace.append(r, Compute(_COMPUTE_S))
+    for _ in range(iterations):
+        for level, stride in enumerate(strides + strides[::-1]):  # V-cycle
+            msg = max(64, size >> level)
+            for r in trace.ranks():
+                partners = grid.neighbors6(r, stride=stride)
+                for i, nb in enumerate(partners):
+                    trace.append(r, Send(nb, msg, tag=stride * 8 + i))
+                for i, nb in enumerate(partners):
+                    # Symmetric exchange: my i-th partner used tag i for me.
+                    back = grid.neighbors6(nb, stride=stride).index(r)
+                    trace.append(r, Recv(nb, tag=stride * 8 + back))
+                trace.append(r, Compute(_COMPUTE_S))
+        for r in trace.ranks():
+            trace.append(r, Allreduce(64))
+            trace.append(r, Compute(_COMPUTE_S / 2))
+    for r in trace.ranks():
+        trace.append(r, Reduce(64, root=0))
+    return trace
+
+
+def nas_lu_trace(
+    num_ranks: int = 64,
+    problem_class: str = "A",
+    iterations: int | None = None,
+) -> Trace:
+    """SSOR wavefront: pipelined north/west -> south/east sweeps."""
+    size, default_iters = _LU_CLASSES[problem_class.upper()]
+    iterations = iterations or default_iters
+    grid = Grid2D(num_ranks, periodic=False)
+    trace = Trace(
+        f"nas-lu.{problem_class.upper()}.{num_ranks}",
+        num_ranks,
+        metadata={"class": problem_class.upper()},
+    )
+    for it in range(iterations):
+        # Forward sweep: dependencies flow from (0,0) to (W-1,H-1).
+        for r in trace.ranks():
+            x, y = grid.coords(r)
+            north = grid.rank(x, y - 1)
+            west = grid.rank(x - 1, y)
+            south = grid.rank(x, y + 1)
+            east = grid.rank(x + 1, y)
+            if north is not None:
+                trace.append(r, Recv(north, tag=1))
+            if west is not None:
+                trace.append(r, Recv(west, tag=2))
+            trace.append(r, Compute(_COMPUTE_S))
+            if south is not None:
+                trace.append(r, Send(south, size, tag=1))
+            if east is not None:
+                trace.append(r, Send(east, size, tag=2))
+        # Backward sweep: mirrored.
+        for r in trace.ranks():
+            x, y = grid.coords(r)
+            south = grid.rank(x, y + 1)
+            east = grid.rank(x + 1, y)
+            north = grid.rank(x, y - 1)
+            west = grid.rank(x - 1, y)
+            if south is not None:
+                trace.append(r, Recv(south, tag=3))
+            if east is not None:
+                trace.append(r, Recv(east, tag=4))
+            trace.append(r, Compute(_COMPUTE_S))
+            if north is not None:
+                trace.append(r, Send(north, size, tag=3))
+            if west is not None:
+                trace.append(r, Send(west, size, tag=4))
+        for r in trace.ranks():
+            trace.append(r, Compute(_COMPUTE_S / 2))
+    # One convergence reduction at the end: Table 2.1 shows LU's
+    # MPI_Allreduce share is vanishing (0.003 %) next to its send/recv.
+    for r in trace.ranks():
+        trace.append(r, Allreduce(40))
+    return trace
+
+
+def nas_ft_trace(
+    num_ranks: int = 64,
+    problem_class: str = "A",
+    iterations: int | None = None,
+) -> Trace:
+    """3-D FFT: all-to-all transpose per iteration."""
+    size, default_iters = _FT_CLASSES[problem_class.upper()]
+    iterations = iterations or default_iters
+    trace = Trace(
+        f"nas-ft.{problem_class.upper()}.{num_ranks}",
+        num_ranks,
+        metadata={"class": problem_class.upper()},
+    )
+    n = num_ranks
+    for r in trace.ranks():
+        trace.append(r, Bcast(size, root=0))
+        trace.append(r, Compute(_COMPUTE_S))
+    for _ in range(iterations):
+        for r in trace.ranks():
+            # Shifted all-to-all avoids every rank hammering rank 0 first.
+            for off in range(1, n):
+                trace.append(r, Send((r + off) % n, size, tag=off))
+            for off in range(1, n):
+                trace.append(r, Recv((r - off) % n, tag=off))
+            trace.append(r, Compute(_COMPUTE_S))
+        for r in trace.ranks():
+            trace.append(r, Allreduce(64))
+            trace.append(r, Compute(_COMPUTE_S / 2))
+    return trace

@@ -1,0 +1,89 @@
+"""Phase detection — the PAS2P substitute (§2.2.5, Table 2.2).
+
+PAS2P identifies an application's *relevant phases*: recurring
+communication segments and their repetition *weights*.  We reproduce the
+analysis on logical traces: a rank's stream is segmented at compute-event
+boundaries (communication bursts alternate with computation, §2.2.3); each
+segment's *signature* is the multiset of its communication calls; distinct
+signatures are phases and their occurrence counts are the weights.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.mpi.events import Compute
+from repro.mpi.trace import Trace
+
+
+def segment_signature(events: list) -> tuple:
+    """Canonical signature of one communication segment."""
+    items: Counter = Counter()
+    for e in events:
+        if isinstance(e, Compute):
+            continue
+        peer = getattr(e, "dst", getattr(e, "src", None))
+        size = getattr(e, "size_bytes", 0)
+        items[(e.call, peer, size)] += 1
+    return tuple(sorted(items.items()))
+
+
+def segment_stream(events: list) -> list[list]:
+    """Split one rank's stream into segments at compute boundaries."""
+    segments: list[list] = []
+    current: list = []
+    for e in events:
+        if isinstance(e, Compute):
+            if current:
+                segments.append(current)
+                current = []
+        else:
+            current.append(e)
+    if current:
+        segments.append(current)
+    return segments
+
+
+@dataclass
+class PhaseReport:
+    """Table 2.2-style phase summary for one application."""
+
+    application: str
+    total_phases: int
+    relevant_phases: int
+    total_weight: int
+    weights: dict[tuple, int] = field(default_factory=dict)
+
+    def row(self) -> dict:
+        return {
+            "application": self.application,
+            "total_phases": self.total_phases,
+            "relevant_phases": self.relevant_phases,
+            "weight": self.total_weight,
+        }
+
+
+def detect_phases(trace: Trace, relevant_min_weight: int = 2) -> PhaseReport:
+    """Extract phases and weights from ``trace``.
+
+    A phase is *relevant* when it repeats at least ``relevant_min_weight``
+    times — repetition is what PR-DRB's predictive module feeds on, so
+    one-shot segments (initialization, teardown) are not relevant.
+    Signatures are counted on rank 0's stream (SPMD representative), as
+    PAS2P does with its master trace.
+    """
+    counts: Counter = Counter()
+    segments = segment_stream(trace.events.get(0, []))
+    for seg in segments:
+        sig = segment_signature(seg)
+        if sig:
+            counts[sig] += 1
+    relevant = {sig: n for sig, n in counts.items() if n >= relevant_min_weight}
+    return PhaseReport(
+        application=trace.name,
+        total_phases=len(counts),
+        relevant_phases=len(relevant),
+        total_weight=sum(relevant.values()),
+        weights=dict(counts),
+    )

@@ -1,0 +1,70 @@
+"""SMG2000 semicoarsening multigrid trace synthesizer (Table 2.2).
+
+SMG2000 (the ASC Purple benchmark) is a semicoarsening multigrid solver:
+unlike NAS MG's full coarsening, each V-cycle level coarsens *one*
+dimension, so the halo pattern is anisotropic — the strided partner
+direction rotates with the level, and message sizes shrink along the
+coarsened axis only.  Table 2.2 records 10 total phases, 4 relevant,
+repeated 1200 times.
+"""
+
+from __future__ import annotations
+
+from repro.apps.grids import Grid3D
+from repro.mpi.events import Allreduce, Bcast, Compute, Recv, Send
+from repro.mpi.trace import Trace
+
+_COMPUTE_S = 18e-6
+
+
+def _axis_neighbors(grid: Grid3D, rank: int, axis: int, stride: int) -> list[int]:
+    """Partners at ±stride along one axis only (semicoarsened halo)."""
+    x, y, z = grid.coords(rank)
+    deltas = {
+        0: ((stride, 0, 0), (-stride, 0, 0)),
+        1: ((0, stride, 0), (0, -stride, 0)),
+        2: ((0, 0, stride), (0, 0, -stride)),
+    }[axis]
+    out = []
+    for dx, dy, dz in deltas:
+        nb = grid.rank(x + dx, y + dy, z + dz)
+        if nb is not None and nb != rank:
+            out.append(nb)
+    return list(dict.fromkeys(out))
+
+
+def smg2000_trace(
+    num_ranks: int = 64,
+    iterations: int = 3,
+    message_bytes: int = 3072,
+) -> Trace:
+    """Semicoarsening V-cycle: the halo axis rotates with the level."""
+    grid = Grid3D(num_ranks, periodic=False)
+    trace = Trace(
+        f"smg2000.{num_ranks}",
+        num_ranks,
+        metadata={"paper_relevant_phases": 4, "paper_weight": 1200},
+    )
+    for r in trace.ranks():
+        trace.append(r, Bcast(512, root=0))
+        trace.append(r, Compute(_COMPUTE_S))
+    dims = (grid.nx, grid.ny, grid.nz)
+    for _ in range(iterations):
+        # Down-cycle: coarsen z, then y, then x; up-cycle mirrors.
+        schedule = [(2, 1), (1, 1), (0, 1), (0, 1), (1, 1), (2, 1)]
+        for level, (axis, stride) in enumerate(schedule):
+            if stride >= dims[axis]:
+                continue
+            msg = max(128, message_bytes >> min(level, 3))
+            for r in trace.ranks():
+                partners = _axis_neighbors(grid, r, axis, stride)
+                for nb in partners:
+                    trace.append(r, Send(nb, msg, tag=500 + axis))
+                for nb in partners:
+                    trace.append(r, Recv(nb, tag=500 + axis))
+                trace.append(r, Compute(_COMPUTE_S))
+        # Residual-norm check per cycle.
+        for r in trace.ranks():
+            trace.append(r, Allreduce(32))
+            trace.append(r, Compute(_COMPUTE_S / 2))
+    return trace

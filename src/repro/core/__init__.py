@@ -1,0 +1,29 @@
+"""PR-DRB core machinery (Chapter 3).
+
+The pieces the routing policies compose: multistep paths (Eqs 3.1-3.3),
+the metapath and its latency aggregate (Eq 3.4), latency thresholds and
+zones (§3.2.4-3.2.5), probabilistic path selection (Eq 3.6),
+contending-flow signatures (§3.2.7) and the saved-solution database with
+approximate pattern matching (§3.2.8).
+"""
+
+from repro.core.msp import MultiStepPath
+from repro.core.thresholds import Thresholds, Zone
+from repro.core.metapath import Metapath
+from repro.core.selection import select_msp, selection_probabilities
+from repro.core.contending import FlowSignature, signature_similarity, make_signature
+from repro.core.solutions import SolutionDatabase, SavedSolution
+
+__all__ = [
+    "MultiStepPath",
+    "Thresholds",
+    "Zone",
+    "Metapath",
+    "select_msp",
+    "selection_probabilities",
+    "FlowSignature",
+    "signature_similarity",
+    "make_signature",
+    "SolutionDatabase",
+    "SavedSolution",
+]

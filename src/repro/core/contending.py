@@ -1,0 +1,53 @@
+"""Contending-flow signatures (§3.2.7, Fig. 3.13).
+
+A congestion situation is characterized by the set of source/destination
+pairs racing for router resources.  PR-DRB recognizes a *recurring*
+situation by approximate matching between the current signature and saved
+ones — the paper uses an 80 % similarity criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.packet import ContendingFlow
+
+#: a congestion situation: the set of contending source/destination pairs.
+FlowSignature = frozenset
+
+
+def make_signature(flows: Iterable[ContendingFlow]) -> FlowSignature:
+    """Normalize an iterable of (src, dst) pairs into a signature."""
+    return frozenset(ContendingFlow(*f) for f in flows)
+
+
+def signature_similarity(a: FlowSignature, b: FlowSignature) -> float:
+    """Jaccard similarity between two signatures, in [0, 1].
+
+    Two empty signatures are identical (1.0); an empty vs non-empty pair
+    shares nothing (0.0).
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    union = len(a | b)
+    return inter / union
+
+
+def overlap_similarity(a: FlowSignature, b: FlowSignature) -> float:
+    """Overlap coefficient: ``|A & B| / min(|A|, |B|)``.
+
+    This is the matching PR-DRB's predictive lookup needs: early in a
+    recurring burst the routers have only reported a *subset* of the
+    pattern's flows, and a subset must still match the remembered full
+    signature (a containment-style 80 % criterion) for the saved solution
+    to be re-applied before congestion fully develops.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    return inter / min(len(a), len(b))

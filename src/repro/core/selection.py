@@ -1,0 +1,33 @@
+"""Probabilistic multistep-path selection (§3.2.6, Eq. 3.6, Fig. 3.11).
+
+A path's selection probability is proportional to its inverse latency
+(its bandwidth as seen by the source): ``p(Cx) = (1/L_Cx) / sum(1/L_Ci)``.
+Lower-latency paths therefore carry proportionally more messages, and
+because latency includes the static transmission term, shorter paths are
+naturally preferred (the paper's length criterion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metapath import Metapath
+
+
+def selection_probabilities(metapath: Metapath) -> np.ndarray:
+    """Eq. 3.6 PDF over the metapath's *active* MSPs (sums to 1)."""
+    latencies = np.array([msp.latency_s for msp in metapath.active_msps])
+    if np.any(latencies <= 0):
+        raise ValueError("MSP latencies must be positive")
+    weights = 1.0 / latencies
+    return weights / weights.sum()
+
+
+def select_msp(metapath: Metapath, rng: np.random.Generator) -> int:
+    """Draw one open MSP; returns its index into ``metapath.msps``."""
+    active = metapath.active_indices
+    if len(active) == 1:
+        return active[0]
+    pdf = selection_probabilities(metapath)
+    choice = rng.choice(len(active), p=pdf)
+    return active[int(choice)]

@@ -1,0 +1,63 @@
+"""Latency thresholds and zones (§3.2.4, §3.2.5, Fig. 3.9).
+
+``Threshold_Low`` and ``Threshold_High`` partition metapath latency into
+three zones: **L** (low congestion — close alternative paths), **M** (the
+network's working zone — hold), and **H** (congestion — open paths /
+consult the solution database).  Thresholds are expressed relative to the
+flow's zero-load path latency so one pair of factors works across
+topologies and path lengths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Zone(enum.Enum):
+    """The three latency zones of Eq. 3.5."""
+
+    LOW = "L"
+    MEDIUM = "M"
+    HIGH = "H"
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Absolute latency thresholds for one flow's metapath."""
+
+    low_s: float
+    high_s: float
+
+    def __post_init__(self) -> None:
+        if self.low_s < 0 or self.high_s <= self.low_s:
+            raise ValueError(
+                f"need 0 <= low < high, got low={self.low_s} high={self.high_s}"
+            )
+
+    def zone(self, latency_s: float) -> Zone:
+        """Classify a metapath latency (Eq. 3.4 output) into a zone."""
+        if latency_s > self.high_s:
+            return Zone.HIGH
+        if latency_s < self.low_s:
+            return Zone.LOW
+        return Zone.MEDIUM
+
+    @classmethod
+    def from_base_latency(
+        cls,
+        base_latency_s: float,
+        low_factor: float = 0.5,
+        high_factor: float = 1.5,
+    ) -> "Thresholds":
+        """Scale thresholds off a flow's zero-load latency.
+
+        With ``high_factor`` 1.5, a flow whose aggregate latency exceeds
+        1.5x its uncongested value enters the saturation zone; once opened
+        paths push the harmonic aggregate (Eq. 3.4) below half the
+        uncongested single-path latency (``low_factor`` 0.5), capacity is
+        clearly overprovisioned and paths close.
+        """
+        if base_latency_s <= 0:
+            raise ValueError("base latency must be positive")
+        return cls(low_s=base_latency_s * low_factor, high_s=base_latency_s * high_factor)

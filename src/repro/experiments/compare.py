@@ -1,0 +1,72 @@
+"""Significance-aware policy comparison (§4.3's statistical discipline).
+
+Turns a ``{policy: PolicyRun}`` mapping into a ranked comparison where
+each pairwise gain is annotated with whether the seeds' 95 % confidence
+intervals separate — the honest way to read small differences out of
+stochastic simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import PolicyRun, improvement
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One policy measured against a baseline."""
+
+    policy: str
+    baseline: str
+    policy_latency_s: float
+    baseline_latency_s: float
+    gain: float
+    #: True when both runs carry CIs and the intervals do not overlap.
+    significant: bool | None
+
+    def row(self) -> dict:
+        sig = {True: "yes", False: "no", None: "n/a"}[self.significant]
+        return {
+            "policy": self.policy,
+            "latency_us": round(self.policy_latency_s * 1e6, 3),
+            "gain_vs_" + self.baseline: f"{self.gain * 100:+.1f}%",
+            "significant": sig,
+        }
+
+
+def compare_policies(
+    runs: dict[str, PolicyRun], baseline: str
+) -> list[Comparison]:
+    """Rank policies by global latency against ``baseline``.
+
+    Raises KeyError when the baseline is missing.  Significance is None
+    when either run has no confidence interval (single-seed runs).
+    """
+    base = runs[baseline]
+    out = []
+    for name, run in runs.items():
+        if name == baseline:
+            continue
+        significant = None
+        if run.global_latency_ci is not None and base.global_latency_ci is not None:
+            significant = not run.global_latency_ci.overlaps(base.global_latency_ci)
+        out.append(
+            Comparison(
+                policy=name,
+                baseline=baseline,
+                policy_latency_s=run.global_latency_s,
+                baseline_latency_s=base.global_latency_s,
+                gain=improvement(base.global_latency_s, run.global_latency_s),
+                significant=significant,
+            )
+        )
+    out.sort(key=lambda c: c.policy_latency_s)
+    return out
+
+
+def best_policy(runs: dict[str, PolicyRun]) -> str:
+    """Name of the lowest-latency policy."""
+    if not runs:
+        raise ValueError("no runs to compare")
+    return min(runs.items(), key=lambda kv: kv[1].global_latency_s)[0]

@@ -1,0 +1,66 @@
+"""Paper-vs-measured reporting.
+
+Every scenario returns an :class:`ExperimentResult`: the experiment id
+(table/figure number in the thesis), the paper's claim, measured rows and
+shape checks.  ``format_table`` renders aligned plain text for the bench
+output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in table)) for i, c in enumerate(columns)
+    ]
+    out = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for line in table:
+        out.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict] = field(default_factory=list)
+    #: (check name, passed) shape assertions.
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _, ok in self.checks)
+
+    def check(self, name: str, ok: bool) -> None:
+        self.checks.append((name, bool(ok)))
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper: {self.paper_claim}",
+            format_table(self.rows),
+        ]
+        for name, ok in self.checks:
+            lines.append(f"[{'ok' if ok else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())

@@ -1,0 +1,271 @@
+"""Policy-comparison runner (§4.3 evaluation method).
+
+Runs the *same* workload (same seeds, same injection times) under each
+routing policy and collects the quantities Chapter 4 plots: global average
+latency (Eq. 4.2), windowed latency series, per-router contention latency,
+latency-map surfaces, execution time for trace replays, and the predictive
+policies' pattern statistics.  Multiple seeds are averaged as in §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.stats import ConfidenceInterval, confidence_interval
+from repro.metrics.recorder import StatsRecorder
+from repro.network.config import NetworkConfig
+from repro.network.fabric import DESTINATION_BASED, Fabric
+from repro.mpi.runtime import TraceRuntime
+from repro.routing import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.topology.base import Topology
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import HotSpotFlow, HotSpotWorkload, SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+
+@dataclass
+class PolicyRun:
+    """Everything measured for one policy under one workload."""
+
+    policy_name: str
+    global_latency_s: float
+    mean_latency_s: float
+    p99_latency_s: float
+    execution_time_s: float
+    contention_map: dict[int, float]
+    latency_series: tuple[np.ndarray, np.ndarray]
+    router_series: dict[int, tuple[np.ndarray, np.ndarray]]
+    policy_stats: dict
+    accepted_ratio: float
+    seeds: int = 1
+    #: 95 % CI of the global latency over seeds (§4.3); zero-width for
+    #: single-seed runs.
+    global_latency_ci: Optional[ConfidenceInterval] = None
+
+    @property
+    def map_peak_s(self) -> float:
+        return max(self.contention_map.values(), default=0.0)
+
+    @property
+    def map_mean_s(self) -> float:
+        values = list(self.contention_map.values())
+        return float(np.mean(values)) if values else 0.0
+
+    def row(self) -> dict:
+        return {
+            "policy": self.policy_name,
+            "global_latency_us": round(self.global_latency_s * 1e6, 3),
+            "map_peak_us": round(self.map_peak_s * 1e6, 3),
+            "exec_time_ms": round(self.execution_time_s * 1e3, 4),
+            "accepted": round(self.accepted_ratio, 3),
+        }
+
+
+def improvement(baseline: float, value: float) -> float:
+    """Relative reduction of ``value`` vs ``baseline`` (0.2 = 20 % better)."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - value) / baseline
+
+
+def _average_runs(runs: list[PolicyRun]) -> PolicyRun:
+    """Average per-seed runs (§4.3: repeated simulations, averaged)."""
+    first = runs[0]
+    if len(runs) == 1:
+        return first
+    maps: dict[int, list[float]] = {}
+    for r in runs:
+        for k, v in r.contention_map.items():
+            maps.setdefault(k, []).append(v)
+    ci = confidence_interval([r.global_latency_s for r in runs])
+    return PolicyRun(
+        policy_name=first.policy_name,
+        global_latency_s=float(np.mean([r.global_latency_s for r in runs])),
+        mean_latency_s=float(np.mean([r.mean_latency_s for r in runs])),
+        p99_latency_s=float(np.mean([r.p99_latency_s for r in runs])),
+        execution_time_s=float(np.mean([r.execution_time_s for r in runs])),
+        contention_map={k: float(np.mean(v)) for k, v in maps.items()},
+        latency_series=first.latency_series,
+        router_series=first.router_series,
+        policy_stats=first.policy_stats,
+        accepted_ratio=float(np.mean([r.accepted_ratio for r in runs])),
+        seeds=len(runs),
+        global_latency_ci=ci,
+    )
+
+
+def _collect(
+    fabric: Fabric,
+    recorder: StatsRecorder,
+    policy_name: str,
+    execution_time_s: float,
+) -> PolicyRun:
+    router_series = {
+        rid: series.finalize() for rid, series in recorder.router_series.items()
+    }
+    return PolicyRun(
+        policy_name=policy_name,
+        global_latency_s=recorder.global_average_latency_s,
+        mean_latency_s=recorder.mean_latency_s,
+        p99_latency_s=recorder.latency_percentile(99),
+        execution_time_s=execution_time_s,
+        contention_map=fabric.contention_map(),
+        latency_series=recorder.latency_series.finalize(),
+        router_series=router_series,
+        policy_stats=fabric.policy.stats(),
+        accepted_ratio=fabric.accepted_ratio(),
+    )
+
+
+def _build(
+    topology_factory: Callable[[], Topology],
+    policy_name: str,
+    config: Optional[NetworkConfig],
+    notification: str,
+    window_s: float,
+    track_routers: bool,
+    policy_kwargs: dict,
+) -> tuple[Fabric, StatsRecorder, Simulator]:
+    sim = Simulator()
+    recorder = StatsRecorder(window_s=window_s, track_router_series=track_routers)
+    fabric = Fabric(
+        topology_factory(),
+        config or NetworkConfig(),
+        make_policy(policy_name, **policy_kwargs),
+        sim,
+        recorder=recorder,
+        notification=notification,
+    )
+    return fabric, recorder, sim
+
+
+def run_pattern_workload(
+    topology_factory: Callable[[], Topology],
+    policies: Sequence[str],
+    pattern: str,
+    rate_mbps: float,
+    hosts: Optional[Sequence[int]] = None,
+    schedule: Optional[BurstSchedule] = None,
+    duration_s: float = 1e-3,
+    drain_s: float = 1e-3,
+    seeds: Sequence[int] = (0,),
+    config: Optional[NetworkConfig] = None,
+    notification: str = DESTINATION_BASED,
+    window_s: float = 50e-6,
+    track_routers: bool = False,
+    idle_rate_mbps: float = 0.0,
+    policy_kwargs: Optional[dict] = None,
+) -> dict[str, PolicyRun]:
+    """Permutation-traffic comparison (§4.6.3, Table 4.3 runs)."""
+    results: dict[str, PolicyRun] = {}
+    for name in policies:
+        runs = []
+        for seed in seeds:
+            fabric, recorder, sim = _build(
+                topology_factory, name, config, notification,
+                window_s, track_routers, policy_kwargs or {},
+            )
+            streams = RandomStreams(seed)
+            host_list = list(hosts) if hosts is not None else list(
+                range(1 << (fabric.topology.num_hosts.bit_length() - 1))
+            )
+            pat_nodes = 1 << (len(host_list).bit_length() - 1)
+            pat = make_pattern(pattern, pat_nodes, rng=streams.stream("pattern"))
+            sched = schedule or BurstSchedule(on_s=duration_s, off_s=0.0)
+            stop = sched.end_time() or duration_s
+            source = SyntheticTrafficSource(
+                fabric, pat, hosts=host_list[:pat_nodes], rate_bps=rate_mbps * 1e6,
+                schedule=sched, stop_s=stop, rng=streams.stream("traffic"),
+                idle_rate_bps=idle_rate_mbps * 1e6,
+            )
+            source.start()
+            sim.run(until=stop + drain_s)
+            runs.append(_collect(fabric, recorder, name, stop))
+        results[name] = _average_runs(runs)
+    return results
+
+
+def run_hotspot_workload(
+    topology_factory: Callable[[], Topology],
+    policies: Sequence[str],
+    flows: Sequence[tuple[int, int]],
+    rate_mbps: float,
+    schedule: BurstSchedule,
+    noise_rate_mbps: float = 0.0,
+    idle_rate_mbps: float = 0.0,
+    drain_s: float = 1e-3,
+    seeds: Sequence[int] = (0,),
+    config: Optional[NetworkConfig] = None,
+    notification: str = DESTINATION_BASED,
+    window_s: float = 50e-6,
+    track_routers: bool = False,
+    policy_kwargs: Optional[dict] = None,
+) -> dict[str, PolicyRun]:
+    """Hot-spot specific-pattern comparison (§4.5, §4.6.2)."""
+    results: dict[str, PolicyRun] = {}
+    stop = schedule.end_time()
+    if stop is None:
+        raise ValueError("hot-spot schedule must be bounded (set repetitions)")
+    for name in policies:
+        runs = []
+        for seed in seeds:
+            fabric, recorder, sim = _build(
+                topology_factory, name, config, notification,
+                window_s, track_routers, policy_kwargs or {},
+            )
+            streams = RandomStreams(seed)
+            workload = HotSpotWorkload(
+                fabric,
+                [HotSpotFlow(s, d) for s, d in flows],
+                rate_bps=rate_mbps * 1e6,
+                schedule=schedule,
+                stop_s=stop,
+                noise_hosts=range(fabric.topology.num_hosts),
+                noise_rate_bps=noise_rate_mbps * 1e6,
+                rng=streams.stream("noise"),
+                idle_rate_bps=idle_rate_mbps * 1e6,
+            )
+            workload.start()
+            sim.run(until=stop + drain_s)
+            runs.append(_collect(fabric, recorder, name, stop))
+        results[name] = _average_runs(runs)
+    return results
+
+
+def run_app_workload(
+    topology_factory: Callable[[], Topology],
+    policies: Sequence[str],
+    trace_factory: Callable[..., "object"],
+    trace_kwargs: Optional[dict] = None,
+    seeds: Sequence[int] = (0,),
+    config: Optional[NetworkConfig] = None,
+    notification: str = DESTINATION_BASED,
+    window_s: float = 100e-6,
+    track_routers: bool = False,
+    timeout_s: float = 30.0,
+    policy_kwargs: Optional[dict] = None,
+) -> dict[str, PolicyRun]:
+    """Application-trace comparison (§4.8): latency + execution time."""
+    results: dict[str, PolicyRun] = {}
+    trace_kwargs = dict(trace_kwargs or {})
+    for name in policies:
+        runs = []
+        for seed in seeds:
+            fabric, recorder, sim = _build(
+                topology_factory, name, config, notification,
+                window_s, track_routers, policy_kwargs or {},
+            )
+            kwargs = dict(trace_kwargs)
+            if "seed" in trace_factory.__code__.co_varnames:
+                kwargs.setdefault("seed", seed)
+            trace = trace_factory(**kwargs)
+            runtime = TraceRuntime(fabric, trace)
+            exec_time = runtime.run(timeout_s=timeout_s)
+            runs.append(_collect(fabric, recorder, name, exec_time))
+        results[name] = _average_runs(runs)
+    return results

@@ -1,0 +1,97 @@
+"""Statistical validity helpers (§4.3).
+
+The thesis runs every simulation "between two to thirty times" with
+different seeds and averages, reporting results within confidence
+intervals.  This module provides that machinery without scipy at runtime:
+Student-t critical values are tabulated for 95 % confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: two-sided 95 % Student-t critical values by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 29: 2.045,
+}
+_T95_ASYMPTOTIC = 1.960
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95 % t value for ``dof`` degrees of freedom."""
+    if dof < 1:
+        raise ValueError("need at least one degree of freedom")
+    if dof in _T95:
+        return _T95[dof]
+    smaller = [k for k in _T95 if k <= dof]
+    return _T95[max(smaller)] if dof < 30 else _T95_ASYMPTOTIC
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Mean with a symmetric 95 % confidence half-width."""
+
+    mean: float
+    half_width: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True when the two intervals overlap — i.e. the difference is
+        *not* statistically significant at the 95 % level (a conservative
+        but standard reading for simulation comparisons)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def relative_half_width(self) -> float:
+        return self.half_width / abs(self.mean) if self.mean else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.samples})"
+
+
+def confidence_interval(samples: Sequence[float]) -> ConfidenceInterval:
+    """95 % CI of the mean of ``samples`` (n = 1 gives zero width)."""
+    values = list(samples)
+    n = len(values)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, samples=1)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(var / n)
+    return ConfidenceInterval(
+        mean=mean,
+        half_width=t_critical_95(n - 1) * sem,
+        samples=n,
+    )
+
+
+def required_repetitions(
+    samples: Sequence[float], target_relative_half_width: float = 0.05
+) -> int:
+    """Estimate how many repetitions reach the target precision (§4.3).
+
+    Uses the pilot samples' variance: n ≈ (t * s / (r * mean))², clamped
+    to at least the pilot size.
+    """
+    ci = confidence_interval(samples)
+    if ci.samples < 2 or ci.mean == 0 or ci.half_width == 0:
+        return ci.samples
+    ratio = ci.relative_half_width() / target_relative_half_width
+    return max(ci.samples, math.ceil(ci.samples * ratio * ratio))

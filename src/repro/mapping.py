@@ -1,0 +1,108 @@
+"""Rank-to-host placement strategies (§3.1).
+
+The thesis notes that routing performance "depends mostly on the
+communication pattern used and the mapping of nodes to processors".
+:class:`~repro.mpi.runtime.TraceRuntime` accepts an explicit
+``rank_to_host`` mapping; this module provides the strategies:
+
+* :func:`linear_mapping` — rank i on host i (the default everywhere);
+* :func:`random_mapping` — a seeded permutation (the worst-case of
+  locality studies);
+* :func:`affinity_mapping` — greedy communication-aware placement: ranks
+  that exchange the most volume are packed onto the same leaf switch /
+  router neighbourhood, shrinking the traffic the fabric has to carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+
+def linear_mapping(num_ranks: int, topology: Topology) -> list[int]:
+    """Rank i -> host i."""
+    if num_ranks > topology.num_hosts:
+        raise ValueError("more ranks than hosts")
+    return list(range(num_ranks))
+
+
+def random_mapping(
+    num_ranks: int, topology: Topology, seed: int = 0
+) -> list[int]:
+    """A seeded random placement over all hosts."""
+    if num_ranks > topology.num_hosts:
+        raise ValueError("more ranks than hosts")
+    rng = np.random.default_rng(seed)
+    hosts = rng.permutation(topology.num_hosts)[:num_ranks]
+    return [int(h) for h in hosts]
+
+
+def _host_groups(topology: Topology) -> list[list[int]]:
+    """Hosts grouped by their attachment router, densest packing first."""
+    groups: dict[int, list[int]] = {}
+    for host in range(topology.num_hosts):
+        groups.setdefault(topology.host_router(host), []).append(host)
+    return sorted(groups.values(), key=lambda g: (-len(g), g[0]))
+
+
+def affinity_mapping(
+    comm_matrix: np.ndarray, topology: Topology
+) -> list[int]:
+    """Greedy volume-aware placement.
+
+    Orders ranks by a max-affinity traversal of the communication matrix
+    (start from the heaviest communicator; repeatedly append the unplaced
+    rank with the largest volume to those already placed) and fills host
+    groups — same-leaf hosts first — in that order.  Ranks that talk the
+    most therefore share a router, and their traffic never enters the
+    fabric.
+    """
+    n = comm_matrix.shape[0]
+    if comm_matrix.shape != (n, n):
+        raise ValueError("communication matrix must be square")
+    if n > topology.num_hosts:
+        raise ValueError("more ranks than hosts")
+    symmetric = comm_matrix + comm_matrix.T
+    placed: list[int] = []
+    remaining = set(range(n))
+    current = int(symmetric.sum(axis=1).argmax())
+    placed.append(current)
+    remaining.discard(current)
+    while remaining:
+        affinity = symmetric[placed].sum(axis=0)
+        best = max(remaining, key=lambda r: (affinity[r], -r))
+        placed.append(best)
+        remaining.discard(best)
+    # Fill host groups (leaf switches) in traversal order.
+    slots: list[int] = []
+    for group in _host_groups(topology):
+        slots.extend(group)
+    mapping = [0] * n
+    for rank, host in zip(placed, slots):
+        mapping[rank] = host
+    return mapping
+
+
+def mapping_cost(
+    comm_matrix: np.ndarray, mapping: list[int], topology: Topology
+) -> float:
+    """Volume-weighted mean hop distance of a placement.
+
+    The objective :func:`affinity_mapping` greedily reduces; 0.0 when all
+    communication is intra-router.
+    """
+    total = 0.0
+    volume = 0.0
+    n = comm_matrix.shape[0]
+    for src in range(n):
+        row = comm_matrix[src]
+        for dst in np.nonzero(row)[0]:
+            v = float(row[dst])
+            hops = topology.distance(
+                topology.host_router(mapping[src]),
+                topology.host_router(mapping[int(dst)]),
+            )
+            total += v * hops
+            volume += v
+    return total / volume if volume else 0.0

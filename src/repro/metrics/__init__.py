@@ -1,0 +1,29 @@
+"""Evaluation metrics (§4.2).
+
+Average message latency (Eqs 4.1-4.2), throughput (offered vs accepted
+load), per-router contention latency, latency surface maps (Fig. 4.7) and
+the time-series recorder the figures are plotted from.
+"""
+
+from repro.metrics.latency import RunningAverage, GlobalAverageLatency
+from repro.metrics.throughput import Throughput
+from repro.metrics.maps import latency_map, mesh_latency_surface, fattree_latency_surface
+from repro.metrics.recorder import StatsRecorder, TimeSeries
+from repro.metrics.energy import EnergyModel, EnergyReport, measure_energy
+from repro.metrics.utilization import UtilizationReport, measure_utilization
+
+__all__ = [
+    "RunningAverage",
+    "GlobalAverageLatency",
+    "Throughput",
+    "latency_map",
+    "mesh_latency_surface",
+    "fattree_latency_surface",
+    "StatsRecorder",
+    "TimeSeries",
+    "EnergyModel",
+    "EnergyReport",
+    "measure_energy",
+    "UtilizationReport",
+    "measure_utilization",
+]

@@ -1,0 +1,94 @@
+"""Energy accounting (§5.2 further work: energy-aware routing).
+
+The thesis proposes using the predictive module's knowledge of future
+communication patterns for energy-aware policies.  This module provides
+the accounting substrate: a simple but standard interconnect energy model
+(static per-router idle power + dynamic per-bit traversal energy) applied
+to a finished simulation, so policies can be compared on energy as well
+as latency.
+
+Defaults are in the ballpark of published router models (e.g. ~1-5 W
+static per high-speed switch, a few pJ/bit dynamic) — the *relative*
+comparison between policies is what matters here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-router energy parameters."""
+
+    #: static (leakage + clocking) power per powered router, watts.
+    idle_power_w: float = 2.0
+    #: dynamic energy per bit crossing a router, joules.
+    energy_per_bit_j: float = 5e-12
+    #: extra energy per forwarded packet (header processing, arbitration).
+    energy_per_packet_j: float = 2e-9
+
+
+@dataclass
+class EnergyReport:
+    """Energy totals for one simulation run."""
+
+    static_j: float
+    dynamic_j: float
+    packets_forwarded: int
+    bits_forwarded: int
+    duration_s: float
+    active_routers: int
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.dynamic_j
+
+    @property
+    def dynamic_fraction(self) -> float:
+        total = self.total_j
+        return self.dynamic_j / total if total > 0 else 0.0
+
+    def joules_per_bit(self) -> float:
+        """Total energy divided by delivered payload bits."""
+        if self.bits_forwarded == 0:
+            return 0.0
+        return self.total_j / self.bits_forwarded
+
+    def row(self) -> dict:
+        return {
+            "total_mj": round(self.total_j * 1e3, 6),
+            "static_mj": round(self.static_j * 1e3, 6),
+            "dynamic_uj": round(self.dynamic_j * 1e6, 3),
+            "j_per_gbit": round(self.joules_per_bit() * 1e9, 3),
+        }
+
+
+def measure_energy(
+    fabric,
+    duration_s: float,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Apply ``model`` to a finished fabric's counters.
+
+    Static power is charged for every router over the full duration
+    (interconnects are always-on); dynamic energy scales with the bits and
+    packets each router actually forwarded — which is where routing-policy
+    differences (path lengths, ACK overhead, detours) show up.
+    """
+    model = model or EnergyModel()
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    packets = sum(r.packets_forwarded for r in fabric.routers)
+    bytes_fwd = sum(r.bytes_forwarded for r in fabric.routers)
+    bits = bytes_fwd * 8
+    active = sum(1 for r in fabric.routers if r.packets_forwarded)
+    return EnergyReport(
+        static_j=model.idle_power_w * duration_s * len(fabric.routers),
+        dynamic_j=bits * model.energy_per_bit_j
+        + packets * model.energy_per_packet_j,
+        packets_forwarded=packets,
+        bits_forwarded=bits,
+        duration_s=duration_s,
+        active_routers=active,
+    )

@@ -1,0 +1,48 @@
+"""Latency surface maps (§4.2, Fig. 4.7; Figs 4.10-4.11, 4.20, 4.24, 4.29-4.30).
+
+A latency map assigns each router its average internal-buffer (contention)
+latency; on a mesh the routers' (x, y) coordinates give the figure's
+surface, on a fat-tree the (level, position) grid does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.fattree import KaryNTree
+from repro.topology.mesh import Mesh2D
+
+
+def latency_map(fabric) -> dict[int, float]:
+    """Router id -> mean contention latency (seconds), congested only."""
+    return fabric.contention_map()
+
+
+def mesh_latency_surface(fabric, topology: Mesh2D) -> np.ndarray:
+    """(height, width) array of mean contention latency per mesh router."""
+    surface = np.zeros((topology.height, topology.width))
+    for router_id, value in fabric.contention_map().items():
+        x, y = topology.coords(router_id)
+        surface[y, x] = value
+    return surface
+
+
+def fattree_latency_surface(fabric, topology: KaryNTree) -> np.ndarray:
+    """(levels, switches-per-level) array of mean contention latency."""
+    surface = np.zeros((topology.n, topology.num_routers // topology.n))
+    per_level = topology.num_routers // topology.n
+    for router_id, value in fabric.contention_map().items():
+        level, pos = divmod(router_id, per_level)
+        surface[level, pos] = value
+    return surface
+
+
+def map_peak(surface: np.ndarray) -> float:
+    """Highest point of a latency surface (the paper compares peaks)."""
+    return float(surface.max()) if surface.size else 0.0
+
+
+def map_mean_nonzero(surface: np.ndarray) -> float:
+    """Mean over routers that saw any contention."""
+    nz = surface[surface > 0]
+    return float(nz.mean()) if nz.size else 0.0

@@ -1,0 +1,97 @@
+"""Link-utilization analysis (§5.2 further work: provisioning).
+
+The thesis suggests using the models to reason about *provisioning* —
+dedicating network portions to applications based on their communication
+requirements.  This module provides the measurement side: per-link
+utilization over a run, the load-imbalance coefficient across links, and
+hot-link identification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Traffic carried by one router output link."""
+
+    router: int
+    target_kind: str
+    target: int
+    bytes: int
+    packets: int
+    utilization: float
+
+    def label(self) -> str:
+        prefix = "r" if self.target_kind == "router" else "h"
+        return f"{self.router}->{prefix}{self.target}"
+
+
+@dataclass
+class UtilizationReport:
+    """Fleet-wide link-load summary for one run."""
+
+    links: list[LinkLoad]
+    duration_s: float
+
+    @property
+    def max_utilization(self) -> float:
+        return max((l.utilization for l in self.links), default=0.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        used = [l.utilization for l in self.links]
+        return float(np.mean(used)) if used else 0.0
+
+    def imbalance(self) -> float:
+        """Coefficient of variation across used links (0 = perfectly even).
+
+        High imbalance is the signature of poor traffic distribution —
+        exactly what DRB's path expansion is meant to reduce.
+        """
+        used = np.array([l.utilization for l in self.links])
+        if used.size == 0 or used.mean() == 0:
+            return 0.0
+        return float(used.std() / used.mean())
+
+    def hottest(self, n: int = 5) -> list[LinkLoad]:
+        return sorted(self.links, key=lambda l: -l.utilization)[:n]
+
+    def row(self) -> dict:
+        return {
+            "links_used": len(self.links),
+            "max_util": round(self.max_utilization, 4),
+            "mean_util": round(self.mean_utilization, 4),
+            "imbalance": round(self.imbalance(), 4),
+        }
+
+
+def measure_utilization(fabric, duration_s: float) -> UtilizationReport:
+    """Compute per-link utilization from a finished fabric's counters.
+
+    Utilization = bytes carried / (link capacity x duration); only links
+    that carried traffic are listed (idle links would drown the stats on
+    large topologies).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    capacity_bytes = fabric.config.link_bandwidth_bps / 8 * duration_s
+    links = []
+    for router in fabric.routers:
+        for (kind, target), port in router.ports.items():
+            if port.packets == 0:
+                continue
+            links.append(
+                LinkLoad(
+                    router=router.router_id,
+                    target_kind=kind,
+                    target=target,
+                    bytes=port.bytes,
+                    packets=port.packets,
+                    utilization=port.bytes / capacity_bytes,
+                )
+            )
+    return UtilizationReport(links=links, duration_s=duration_s)

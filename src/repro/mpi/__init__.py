@@ -1,0 +1,47 @@
+"""Logical-trace MPI layer (§4.7, Fig. 4.19).
+
+The paper drives its network models with *logical traces* extracted from
+real MPI applications: per-rank streams of compute and communication
+events whose dependencies (blocking receives, collective rounds) are
+re-executed inside the simulator.  This subpackage provides the event
+vocabulary, collective-to-point-to-point lowering, the trace container
+and the trace-driven runtime that replays a trace over a fabric.
+"""
+
+from repro.mpi.events import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    MPI_CALL_IDS,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    Waitall,
+)
+from repro.mpi.trace import Trace, call_breakdown, communication_matrix
+from repro.mpi.collectives import lower_collectives
+from repro.mpi.runtime import TraceRuntime
+
+__all__ = [
+    "Compute",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Allreduce",
+    "Reduce",
+    "Bcast",
+    "Barrier",
+    "MPI_CALL_IDS",
+    "Trace",
+    "call_breakdown",
+    "communication_matrix",
+    "lower_collectives",
+    "TraceRuntime",
+]

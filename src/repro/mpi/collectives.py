@@ -1,0 +1,183 @@
+"""Collective-communication lowering (§2.2.4).
+
+The fabric only moves point-to-point messages, so collectives are lowered
+to the classic algorithms before a trace is replayed:
+
+* **allreduce / barrier** — recursive doubling (dissemination for the
+  barrier), with the standard fold-in/fold-out adjustment for non-power-
+  of-two communicators;
+* **bcast** — binomial tree from the root;
+* **reduce** — binomial tree toward the root.
+
+Lowering assumes SPMD traces: every rank executes the same sequence of
+collectives (validated), so the per-rank collective counters agree and
+the generated tags match across ranks.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.events import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Recv,
+    Reduce,
+    Send,
+)
+
+#: tags at or above this value are reserved for lowered collectives.
+COLLECTIVE_TAG_BASE = 1 << 20
+#: stride between collective instances in tag space (max rounds per op).
+_TAG_STRIDE = 64
+#: token size modelling a payload-free synchronization message.
+BARRIER_TOKEN_BYTES = 64
+
+
+def _tag(instance: int, round_: int) -> int:
+    return COLLECTIVE_TAG_BASE + instance * _TAG_STRIDE + round_
+
+
+def _allreduce_schedule(rank: int, n: int, size: int, instance: int) -> list:
+    """Recursive doubling with fold-in/out for non-power-of-two n."""
+    events: list = []
+    p = 1 << (n.bit_length() - 1)
+    if p == n:
+        base = rank
+        in_base = True
+    else:
+        in_base = rank < p
+        base = rank
+    round_ = 0
+    if p != n:
+        # Fold-in: extras hand their contribution to rank - p.
+        if rank >= p:
+            events.append(Send(rank - p, size, _tag(instance, round_)))
+        elif rank + p < n:
+            events.append(Recv(rank + p, _tag(instance, round_)))
+        round_ += 1
+    if in_base:
+        k = 1
+        while k < p:
+            partner = rank ^ k
+            events.append(Send(partner, size, _tag(instance, round_)))
+            events.append(Recv(partner, _tag(instance, round_)))
+            round_ += 1
+            k <<= 1
+    else:
+        round_ += p.bit_length() - 1
+    if p != n:
+        # Fold-out: results go back to the extras.
+        if rank >= p:
+            events.append(Recv(rank - p, _tag(instance, round_)))
+        elif rank + p < n:
+            events.append(Send(rank + p, size, _tag(instance, round_)))
+    return events
+
+
+def _barrier_schedule(rank: int, n: int, instance: int) -> list:
+    """Dissemination barrier: ceil(log2 n) rounds of shifted exchanges."""
+    events: list = []
+    round_ = 0
+    k = 1
+    while k < n:
+        to = (rank + k) % n
+        frm = (rank - k) % n
+        events.append(Send(to, BARRIER_TOKEN_BYTES, _tag(instance, round_)))
+        events.append(Recv(frm, _tag(instance, round_)))
+        round_ += 1
+        k <<= 1
+    return events
+
+
+def _bcast_schedule(rank: int, n: int, size: int, root: int, instance: int) -> list:
+    """Binomial tree: relabelled rank v receives once, then fans out."""
+    events: list = []
+    v = (rank - root) % n
+    round_ = 0
+    k = 1
+    while k < n:
+        if v < k and v + k < n:
+            events.append(Send((v + k + root) % n, size, _tag(instance, round_)))
+        elif k <= v < 2 * k:
+            events.append(Recv((v - k + root) % n, _tag(instance, round_)))
+        round_ += 1
+        k <<= 1
+    return events
+
+
+def _reduce_schedule(rank: int, n: int, size: int, root: int, instance: int) -> list:
+    """Binomial tree toward the root: the bcast tree with arrows reversed."""
+    events: list = []
+    v = (rank - root) % n
+    rounds = []
+    k = 1
+    round_ = 0
+    while k < n:
+        rounds.append((k, round_))
+        round_ += 1
+        k <<= 1
+    for k, round_ in reversed(rounds):
+        if v < k and v + k < n:
+            events.append(Recv((v + k + root) % n, _tag(instance, round_)))
+        elif k <= v < 2 * k:
+            events.append(Send((v - k + root) % n, size, _tag(instance, round_)))
+    return events
+
+
+def lower_rank_collective(event, rank: int, n: int, instance: int) -> list:
+    """Lower one collective event for one rank."""
+    if isinstance(event, Allreduce):
+        return _allreduce_schedule(rank, n, event.size_bytes, instance)
+    if isinstance(event, Barrier):
+        return _barrier_schedule(rank, n, instance)
+    if isinstance(event, Bcast):
+        return _bcast_schedule(rank, n, event.size_bytes, event.root, instance)
+    if isinstance(event, Reduce):
+        return _reduce_schedule(rank, n, event.size_bytes, event.root, instance)
+    raise TypeError(f"not a collective: {event!r}")
+
+
+def collective_pairs(event, rank: int, ranks: list[int]):
+    """(src, dst) pairs in which ``rank`` sends, for volume accounting."""
+    n = len(ranks)
+    for e in lower_rank_collective(event, rank, n, instance=0):
+        if isinstance(e, Send):
+            yield (rank, e.dst)
+
+
+def lower_collectives(trace):
+    """Replace every collective in ``trace`` with its point-to-point form.
+
+    Returns a new :class:`~repro.mpi.trace.Trace`; raises ValueError when
+    ranks disagree on their collective sequences (a non-SPMD trace would
+    deadlock at replay).
+    """
+    from repro.mpi.trace import Trace
+
+    n = trace.num_ranks
+    signatures = []
+    for rank in trace.ranks():
+        sig = [
+            (type(e).__name__, getattr(e, "root", None))
+            for e in trace.events[rank]
+            if isinstance(e, (Allreduce, Barrier, Bcast, Reduce))
+        ]
+        signatures.append(sig)
+    if any(sig != signatures[0] for sig in signatures[1:]):
+        raise ValueError("ranks disagree on collective sequence; trace is not SPMD")
+
+    lowered = Trace(
+        name=trace.name,
+        num_ranks=n,
+        metadata={**trace.metadata, "collectives_lowered": True},
+    )
+    for rank in trace.ranks():
+        instance = 0
+        out = lowered.events[rank]
+        for e in trace.events[rank]:
+            if isinstance(e, (Allreduce, Barrier, Bcast, Reduce)):
+                out.extend(lower_rank_collective(e, rank, n, instance))
+                instance += 1
+            else:
+                out.append(e)
+    return lowered

@@ -1,0 +1,128 @@
+"""MPI logical-trace event vocabulary (Table 2.1 call set).
+
+Every event a synthesized application trace may contain.  Point-to-point
+events carry rank-level ids (the runtime maps ranks to hosts); sizes are
+bytes.  ``Compute`` is the paper's ``Compute(t)`` event emulating serial
+computation between communications (§4.7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: ids stamped into Packet.mpi_type (Fig. 3.16), one per Table 2.1 call.
+MPI_CALL_IDS = {
+    "compute": 0,
+    "send": 1,
+    "recv": 2,
+    "isend": 3,
+    "irecv": 4,
+    "wait": 5,
+    "waitall": 6,
+    "allreduce": 7,
+    "reduce": 8,
+    "bcast": 9,
+    "barrier": 10,
+}
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Serial computation of ``duration_s`` seconds."""
+
+    duration_s: float
+    call = "compute"
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking standard-mode send (buffered: completes at injection)."""
+
+    dst: int
+    size_bytes: int
+    tag: int = 0
+    call = "send"
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive matching ``(src, tag)``."""
+
+    src: int
+    tag: int = 0
+    call = "recv"
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Non-blocking send; completion is tracked by ``request``."""
+
+    dst: int
+    size_bytes: int
+    tag: int = 0
+    request: int = 0
+    call = "isend"
+
+
+@dataclass(frozen=True)
+class Irecv:
+    """Non-blocking receive posting ``request`` for ``(src, tag)``."""
+
+    src: int
+    tag: int = 0
+    request: int = 0
+    call = "irecv"
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until ``request`` completes."""
+
+    request: int
+    call = "wait"
+
+
+@dataclass(frozen=True)
+class Waitall:
+    """Block until every currently outstanding request completes."""
+
+    call = "waitall"
+
+
+@dataclass(frozen=True)
+class Allreduce:
+    """All-to-all reduction of ``size_bytes`` over the communicator."""
+
+    size_bytes: int
+    call = "allreduce"
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Reduction of ``size_bytes`` to ``root``."""
+
+    size_bytes: int
+    root: int = 0
+    call = "reduce"
+
+
+@dataclass(frozen=True)
+class Bcast:
+    """Broadcast of ``size_bytes`` from ``root``."""
+
+    size_bytes: int
+    root: int = 0
+    call = "bcast"
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronization across the communicator."""
+
+    call = "barrier"
+
+
+#: events the collective-lowering pass must expand.
+COLLECTIVES = (Allreduce, Reduce, Bcast, Barrier)
+#: events the runtime executes directly.
+POINT_TO_POINT = (Compute, Send, Recv, Isend, Irecv, Wait, Waitall)

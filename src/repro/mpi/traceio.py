@@ -1,0 +1,120 @@
+"""Trace serialization (JSON).
+
+The paper's framework extracts logical traces from running applications
+and feeds them to the simulator (§4.7.1, Fig. 4.19).  This module is the
+interchange format: traces round-trip through plain JSON so externally
+extracted traces can be replayed, and synthesized traces can be archived
+with experiment results.
+
+Format::
+
+    {
+      "name": "...", "num_ranks": N, "metadata": {...},
+      "events": {"0": [["compute", 1e-5], ["send", dst, size, tag], ...]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.mpi.events import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    Waitall,
+)
+from repro.mpi.trace import Trace
+
+#: event -> compact list encoding.
+_ENCODERS = {
+    Compute: lambda e: ["compute", e.duration_s],
+    Send: lambda e: ["send", e.dst, e.size_bytes, e.tag],
+    Recv: lambda e: ["recv", e.src, e.tag],
+    Isend: lambda e: ["isend", e.dst, e.size_bytes, e.tag, e.request],
+    Irecv: lambda e: ["irecv", e.src, e.tag, e.request],
+    Wait: lambda e: ["wait", e.request],
+    Waitall: lambda e: ["waitall"],
+    Allreduce: lambda e: ["allreduce", e.size_bytes],
+    Reduce: lambda e: ["reduce", e.size_bytes, e.root],
+    Bcast: lambda e: ["bcast", e.size_bytes, e.root],
+    Barrier: lambda e: ["barrier"],
+}
+
+_DECODERS = {
+    "compute": lambda a: Compute(float(a[0])),
+    "send": lambda a: Send(int(a[0]), int(a[1]), int(a[2])),
+    "recv": lambda a: Recv(int(a[0]), int(a[1])),
+    "isend": lambda a: Isend(int(a[0]), int(a[1]), int(a[2]), int(a[3])),
+    "irecv": lambda a: Irecv(int(a[0]), int(a[1]), int(a[2])),
+    "wait": lambda a: Wait(int(a[0])),
+    "waitall": lambda a: Waitall(),
+    "allreduce": lambda a: Allreduce(int(a[0])),
+    "reduce": lambda a: Reduce(int(a[0]), int(a[1])),
+    "bcast": lambda a: Bcast(int(a[0]), int(a[1])),
+    "barrier": lambda a: Barrier(),
+}
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Encode a trace as a JSON-ready dictionary."""
+    events = {}
+    for rank in trace.ranks():
+        encoded = []
+        for e in trace.events[rank]:
+            encoder = _ENCODERS.get(type(e))
+            if encoder is None:
+                raise TypeError(f"cannot serialize event {e!r}")
+            encoded.append(encoder(e))
+        events[str(rank)] = encoded
+    return {
+        "name": trace.name,
+        "num_ranks": trace.num_ranks,
+        "metadata": trace.metadata,
+        "events": events,
+    }
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Decode :func:`trace_to_dict` output back into a Trace."""
+    trace = Trace(
+        name=data["name"],
+        num_ranks=int(data["num_ranks"]),
+        metadata=dict(data.get("metadata", {})),
+    )
+    for rank_str, encoded in data.get("events", {}).items():
+        rank = int(rank_str)
+        for item in encoded:
+            kind, args = item[0], item[1:]
+            decoder = _DECODERS.get(kind)
+            if decoder is None:
+                raise ValueError(f"unknown event kind {kind!r}")
+            trace.append(rank, decoder(args))
+    return trace
+
+
+def save_trace(trace: Trace, target: Union[str, Path, IO[str]]) -> None:
+    """Write a trace to a path or open text file."""
+    data = trace_to_dict(trace)
+    if hasattr(target, "write"):
+        json.dump(data, target)
+    else:
+        Path(target).write_text(json.dumps(data))
+
+
+def load_trace(source: Union[str, Path, IO[str]]) -> Trace:
+    """Read a trace from a path or open text file."""
+    if hasattr(source, "read"):
+        data = json.load(source)
+    else:
+        data = json.loads(Path(source).read_text())
+    return trace_from_dict(data)

@@ -1,0 +1,32 @@
+"""Network component models (§3.3, §4.1).
+
+Packet formats (data / ACK / predictive header), the PR-DRB router with its
+LU / HDP / CFD / GPA modules, processing-node endpoints, and the
+:class:`~repro.network.fabric.Fabric` that wires a topology, routers and
+nodes into a runnable simulation.
+"""
+
+from repro.network.config import NetworkConfig
+from repro.network.packet import (
+    ACK,
+    DATA,
+    PREDICTIVE_ACK,
+    ContendingFlow,
+    Packet,
+)
+from repro.network.router import Router, OutputPort
+from repro.network.nic import ProcessingNode
+from repro.network.fabric import Fabric
+
+__all__ = [
+    "NetworkConfig",
+    "Packet",
+    "ContendingFlow",
+    "DATA",
+    "ACK",
+    "PREDICTIVE_ACK",
+    "Router",
+    "OutputPort",
+    "ProcessingNode",
+    "Fabric",
+]

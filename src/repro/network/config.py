@@ -1,0 +1,101 @@
+"""Simulation parameter sets (Tables 4.2 and 4.3).
+
+:class:`NetworkConfig` carries every tunable the paper reports: link
+bandwidth 2 Gbps, 2 MB router buffers, 1024-byte packets, virtual
+cut-through flow control, plus engine-level delays that OPNET models
+implicitly (routing decision time, link propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NetworkConfig:
+    """All physical/protocol parameters of a simulated network."""
+
+    #: link bandwidth in bits per second (paper: 2 Gbps).
+    link_bandwidth_bps: float = 2e9
+    #: data packet payload+header size in bytes (paper: 1024 B).
+    packet_size_bytes: int = 1024
+    #: router buffer capacity per output port in bytes (paper: 2 MB).
+    buffer_size_bytes: int = 2 * 1024 * 1024
+    #: ACK / notification packet size in bytes (small control packet).
+    ack_size_bytes: int = 64
+    #: fixed routing-decision delay per router, seconds.
+    routing_delay_s: float = 50e-9
+    #: link propagation delay, seconds.
+    link_delay_s: float = 20e-9
+    #: NIC injection bandwidth (defaults to link bandwidth).
+    injection_bandwidth_bps: float | None = None
+    #: queue-latency threshold above which a router's CFD module records
+    #: contending flows (§3.3.2); seconds.
+    router_threshold_s: float = 4e-6
+    #: maximum number of contending flows carried by a predictive header.
+    max_contending_flows: int = 8
+    #: minimum fraction of queued bytes a flow must hold to be reported as
+    #: contending (§3.2.7: only the flows "which contribute most to
+    #: congestion" are notified; background noise stays out of signatures).
+    cfd_min_share: float = 0.12
+    #: generate an ACK per received data packet (needed by DRB family).
+    send_acks: bool = True
+    #: buffer flow control (§2.1.3): "none" accepts everything and only
+    #: counts logical overflows; "onoff" stalls a packet upstream until
+    #: the full output buffer drains (On/Off backpressure).
+    flow_control: str = "none"
+    #: switching pipeline (§2.1.2): False = store-and-forward timing (a
+    #: packet fully serializes at every hop — the conservative model all
+    #: paper experiments use); True = virtual cut-through (the header is
+    #: handed to the next hop after ``cut_through_header_bytes`` while the
+    #: body still occupies the link, so uncongested hops pipeline).
+    cut_through: bool = False
+    #: header size driving the cut-through handoff delay.
+    cut_through_header_bytes: int = 16
+    #: virtual channels per output port (§2.1.2, §3.2.8).  1 = plain FIFO
+    #: link service (default, used by all paper experiments); >= 2 turns
+    #: on round-robin VC arbitration so flows sharing a port cannot
+    #: head-of-line-block each other.
+    virtual_channels: int = 1
+
+    _FLOW_CONTROLS = ("none", "onoff")
+
+    def __post_init__(self) -> None:
+        if self.injection_bandwidth_bps is None:
+            self.injection_bandwidth_bps = self.link_bandwidth_bps
+        if self.link_bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.packet_size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if self.flow_control not in self._FLOW_CONTROLS:
+            raise ValueError(
+                f"flow_control must be one of {self._FLOW_CONTROLS}, "
+                f"got {self.flow_control!r}"
+            )
+        if self.virtual_channels < 1:
+            raise ValueError("virtual_channels must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def packet_tx_time_s(self) -> float:
+        """Serialization time of a data packet on one link."""
+        return self.packet_size_bytes * 8 / self.link_bandwidth_bps
+
+    @property
+    def ack_tx_time_s(self) -> float:
+        """Serialization time of an ACK packet on one link."""
+        return self.ack_size_bytes * 8 / self.link_bandwidth_bps
+
+    def tx_time_s(self, size_bytes: int) -> float:
+        """Serialization time of ``size_bytes`` on one link."""
+        return size_bytes * 8 / self.link_bandwidth_bps
+
+
+def paper_mesh_config() -> NetworkConfig:
+    """Table 4.2 parameters (hot-spot experiments on the 8x8 mesh)."""
+    return NetworkConfig()
+
+
+def paper_fattree_config() -> NetworkConfig:
+    """Table 4.3 parameters (permutation traffic on the 4-ary tree)."""
+    return NetworkConfig()

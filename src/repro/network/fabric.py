@@ -1,0 +1,380 @@
+"""The fabric: topology + routers + processing nodes + routing policy.
+
+:class:`Fabric` is the top-level simulation object.  It owns one
+:class:`~repro.network.router.Router` per topology router, one
+:class:`~repro.network.nic.ProcessingNode` per host, and a routing policy.
+Its event chain implements the paper's standard packet-delivery process
+(Fig. 3.3): source injection -> per-router forwarding (Fig. 3.5 monitoring)
+-> destination delivery -> ACK notification back to the source -> policy
+learning (metapath configuration, Fig. 3.10).
+
+Notification mode selects between the two design alternatives:
+``"destination"`` (§3.2.2: contending flows ride the data packet and come
+back in the destination ACK) and ``"router"`` (§3.4.1: the congested router
+injects predictive ACKs straight to the dominant sources; the destination
+then returns a latency-only ACK).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.config import NetworkConfig
+from repro.network.nic import ProcessingNode
+from repro.network.packet import (
+    ACK,
+    DATA,
+    PREDICTIVE_ACK,
+    ContendingFlow,
+    Packet,
+    make_ack,
+    make_predictive_ack,
+)
+from repro.network.router import OutputPort, Router
+from repro.routing.base import RoutingPolicy
+from repro.sim.engine import Simulator
+from repro.topology.base import Topology
+
+DESTINATION_BASED = "destination"
+ROUTER_BASED = "router"
+
+
+class _IdlePort:
+    """Sentinel for ports that have never been used (always free)."""
+
+    busy_until = 0.0
+
+
+_IDLE = _IdlePort()
+
+
+class Fabric:
+    """A complete simulated interconnection network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: NetworkConfig,
+        policy: RoutingPolicy,
+        sim: Simulator,
+        recorder=None,
+        notification: str = DESTINATION_BASED,
+    ) -> None:
+        if notification not in (DESTINATION_BASED, ROUTER_BASED):
+            raise ValueError(f"unknown notification mode {notification!r}")
+        self.topology = topology
+        self.config = config
+        self.policy = policy
+        self.sim = sim
+        self.recorder = recorder
+        self.notification = notification
+        handler = self._router_congestion if notification == ROUTER_BASED else None
+        self.routers = [
+            Router(r, config, congestion_handler=handler)
+            for r in range(topology.num_routers)
+        ]
+        # Optional virtual-channel arbitration (§3.2.8).
+        self._vc = None
+        if config.virtual_channels > 1:
+            from repro.network.vc import VCDispatcher
+
+            self._vc = VCDispatcher(self)
+        self.nodes = [ProcessingNode(h, config) for h in range(topology.num_hosts)]
+        # Aggregate accounting (offered vs accepted load, §4.2 throughput).
+        self.data_packets_injected = 0
+        self.data_packets_delivered = 0
+        self.data_bytes_delivered = 0
+        self.acks_delivered = 0
+        self.predictive_acks_delivered = 0
+        # Fault injection (the FT-DRB capability the router design shares,
+        # §3.3.2): failed router-to-router links and drop accounting.
+        self.failed_links: set[frozenset] = set()
+        self.packets_dropped = 0
+        policy.attach(self)
+        if recorder is not None:
+            recorder.attach(self)
+
+    # ------------------------------------------------------------------
+    # Message / packet injection
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        mpi_type: int = -1,
+        mpi_seq: int = -1,
+    ) -> int:
+        """Inject a message; returns the number of packets created.
+
+        Messages larger than a packet are fragmented; one metapath
+        selection is made per message so fragments share a route and
+        arrive in order (the paper's ``MPI_sequence`` ordering).
+        """
+        if src == dst:
+            # Loopback: deliver immediately without touching the network.
+            node = self.nodes[dst]
+            packet = Packet(
+                src=src, dst=dst, size_bytes=size_bytes,
+                created_at=self.sim.now, mpi_type=mpi_type, mpi_seq=mpi_seq,
+            )
+            node.receive(packet, self.sim.now)
+            return 0
+        now = self.sim.now
+        path, msp_index = self.policy.select_path(src, dst, size_bytes, now)
+        fragments = max(1, math.ceil(size_bytes / self.config.packet_size_bytes))
+        remaining = size_bytes
+        for i in range(fragments):
+            chunk = min(self.config.packet_size_bytes, remaining)
+            remaining -= chunk
+            packet = Packet(
+                src=src,
+                dst=dst,
+                size_bytes=chunk,
+                kind=DATA,
+                path=path,
+                created_at=now,
+                msp_index=msp_index,
+                mpi_type=mpi_type,
+                mpi_seq=mpi_seq,
+                final=(i == fragments - 1),
+                fragments=fragments,
+            )
+            self.inject(packet)
+        return fragments
+
+    def inject(self, packet: Packet) -> None:
+        """Serialize ``packet`` out of its source host onto the first router."""
+        node = self.nodes[packet.src]
+        exit_time = node.serialize(packet, self.sim.now)
+        if packet.kind == DATA:
+            self.data_packets_injected += 1
+            if self.recorder is not None:
+                self.recorder.on_data_injected(packet, self.sim.now)
+        self.sim.schedule_at(
+            exit_time + self.config.link_delay_s, self._arrive, packet
+        )
+
+    # ------------------------------------------------------------------
+    # Per-router forwarding
+    # ------------------------------------------------------------------
+    def _arrive(self, packet: Packet) -> None:
+        now = self.sim.now
+        if getattr(self.policy, "per_hop", False) and packet.kind == DATA:
+            self._arrive_adaptive(packet, now)
+            return
+        if self._vc is not None:
+            self._arrive_vc(packet, now)
+            return
+        router = self.routers[packet.current_router]
+        if packet.at_last_router:
+            port = router.port_to("host", packet.dst)
+            depart = router.forward(packet, port, now)
+            self.sim.schedule_at(
+                depart + self.config.link_delay_s, self._deliver, packet
+            )
+        else:
+            next_router = packet.path[packet.hop + 1]
+            if self.failed_links and not self.link_alive(
+                packet.current_router, next_router
+            ):
+                # A failed link drops the packet: lossless recovery is the
+                # routing policy's job (alternative paths avoid the fault;
+                # FR-DRB's watchdog notices the missing ACK).
+                self.packets_dropped += 1
+                return
+            port = router.port_to("router", next_router)
+            if self._stalled(router, port, packet, now):
+                return
+            depart = router.forward(packet, port, now)
+            packet.hop += 1
+            self.sim.schedule_at(
+                depart + self.config.link_delay_s, self._arrive, packet
+            )
+
+    def _stalled(self, router: Router, port: OutputPort, packet: Packet, now: float) -> bool:
+        """On/Off flow control: hold the packet upstream until the full
+        output buffer drains (§2.1.3).  Returns True when a retry was
+        scheduled."""
+        if self.config.flow_control != "onoff":
+            return False
+        if router.buffer_available(port, packet.size_bytes, now):
+            return False
+        port.stalls += 1
+        retry = router.next_drain_time(port, now)
+        self.sim.schedule_at(retry, self._arrive, packet)
+        return True
+
+    def _arrive_vc(self, packet: Packet, now: float) -> None:
+        """Forward through the round-robin VC arbiter instead of the
+        immediate FIFO model (NetworkConfig.virtual_channels >= 2)."""
+        router = self.routers[packet.current_router]
+        if packet.at_last_router:
+            port = router.port_to("host", packet.dst)
+
+            def served_host(pkt: Packet, depart: float) -> None:
+                self.sim.schedule_at(
+                    depart + self.config.link_delay_s, self._deliver, pkt
+                )
+
+            self._vc.submit(router, port, packet, now, served_host)
+            return
+        next_router = packet.path[packet.hop + 1]
+        if self.failed_links and not self.link_alive(
+            packet.current_router, next_router
+        ):
+            self.packets_dropped += 1
+            return
+        port = router.port_to("router", next_router)
+
+        def served_router(pkt: Packet, depart: float) -> None:
+            pkt.hop += 1
+            self.sim.schedule_at(
+                depart + self.config.link_delay_s, self._arrive, pkt
+            )
+
+        self._vc.submit(router, port, packet, now, served_router)
+
+    def _arrive_adaptive(self, packet: Packet, now: float) -> None:
+        """Per-hop adaptive forwarding (Fig. 2.5's in-network adaptivity).
+
+        The packet's route grows as routers choose among the minimal next
+        hops; the accumulated ``path`` stays valid for diagnostics and
+        ACK reverse-routing.
+        """
+        current = packet.current_router
+        router = self.routers[current]
+        dst_router = self.topology.host_router(packet.dst)
+        if current == dst_router:
+            port = router.port_to("host", packet.dst)
+            depart = router.forward(packet, port, now)
+            self.sim.schedule_at(
+                depart + self.config.link_delay_s, self._deliver, packet
+            )
+            return
+        choices = self.topology.minimal_next_hops(current, dst_router)
+        if not choices:  # disconnected (should not happen on live fabrics)
+            self.packets_dropped += 1
+            return
+        next_router = min(
+            choices,
+            key=lambda nb: (router.ports.get(("router", nb)) or _IDLE).busy_until,
+        )
+        port = router.port_to("router", next_router)
+        depart = router.forward(packet, port, now)
+        packet.path = packet.path + (next_router,)
+        packet.hop += 1
+        self.sim.schedule_at(
+            depart + self.config.link_delay_s, self._arrive, packet
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery and notification
+    # ------------------------------------------------------------------
+    def _deliver(self, packet: Packet) -> None:
+        now = self.sim.now
+        if packet.kind == DATA:
+            self.data_packets_delivered += 1
+            self.data_bytes_delivered += packet.size_bytes
+            latency = now - packet.created_at
+            if self.recorder is not None:
+                self.recorder.on_data_delivered(packet, latency, now)
+            self.nodes[packet.dst].receive(packet, now)
+            if self.config.send_acks and self.policy.wants_acks:
+                self._send_ack(packet, now)
+        elif packet.kind == ACK:
+            self.acks_delivered += 1
+            self.policy.on_ack(packet, now)
+        elif packet.kind == PREDICTIVE_ACK:
+            self.predictive_acks_delivered += 1
+            self.policy.on_predictive_ack(packet, now)
+
+    def _send_ack(self, data: Packet, now: float) -> None:
+        reverse = tuple(reversed(data.path))
+        ack = make_ack(
+            data,
+            reverse_path=reverse,
+            size_bytes=self.config.ack_size_bytes,
+            now=now,
+            carry_contending=True,
+        )
+        self.inject(ack)
+
+    # ------------------------------------------------------------------
+    # Router-based notification (GPA module, §3.4.1)
+    # ------------------------------------------------------------------
+    def _router_congestion(
+        self,
+        router: Router,
+        port: OutputPort,
+        packet: Packet,
+        wait_s: float,
+        flows: list[ContendingFlow],
+        now: float,
+    ) -> bool:
+        if not self.policy.wants_acks:
+            return False
+        # Notify each distinct source among the dominant contending flows.
+        notified: set[int] = set()
+        for flow in flows:
+            if flow.src in notified:
+                continue
+            notified.add(flow.src)
+            src_router = self.topology.host_router(flow.src)
+            path = self.topology.minimal_route(router.router_id, src_router)
+            pack = make_predictive_ack(
+                router=router.router_id,
+                target_src=flow.src,
+                path=path,
+                contending=flows,
+                queue_latency=wait_s,
+                size_bytes=self.config.ack_size_bytes,
+                now=now,
+            )
+            # Routers inject in place: the packet starts at this router.
+            self.sim.schedule_at(now, self._arrive, pack)
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_link(self, a: int, b: int) -> None:
+        """Take the (bidirectional) router link a<->b out of service."""
+        if b not in self.topology.router_neighbors(a):
+            raise ValueError(f"routers {a} and {b} are not adjacent")
+        self.failed_links.add(frozenset((a, b)))
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Bring a failed link back."""
+        self.failed_links.discard(frozenset((a, b)))
+
+    def link_alive(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) not in self.failed_links
+
+    def path_alive(self, path) -> bool:
+        """True when no hop of ``path`` crosses a failed link."""
+        if not self.failed_links:
+            return True
+        return all(self.link_alive(x, y) for x, y in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------
+    # Inspection helpers
+    # ------------------------------------------------------------------
+    def contention_map(self) -> dict[int, float]:
+        """Per-router mean contention latency (the latency surface map z)."""
+        return {
+            r.router_id: r.mean_contention_latency_s
+            for r in self.routers
+            if r.packets_forwarded
+        }
+
+    def accepted_ratio(self) -> float:
+        """Delivered / injected data packets (§4.2 offered-vs-accepted)."""
+        if not self.data_packets_injected:
+            return 1.0
+        return self.data_packets_delivered / self.data_packets_injected
+
+    def quiesce(self, timeout: float = 1.0) -> None:
+        """Run the simulator until all in-flight packets drain."""
+        deadline = self.sim.now + timeout
+        self.sim.run(until=deadline)

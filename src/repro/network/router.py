@@ -1,0 +1,238 @@
+"""PR-DRB router model (§3.3.2, Fig. 3.19; node model §4.1.2).
+
+Each router owns one :class:`OutputPort` per outgoing link.  A port is a
+FIFO server: a packet arriving at time ``t`` waits ``max(0, busy_until -
+t)`` (the paper's *contention latency*, accumulated into the packet by the
+Latency Update module), then holds the link for its serialization time.
+
+The router integrates the paper's four modules:
+
+* **LU** (Latency Update) — per-packet queue-wait accumulation;
+* **HDP** (Header Detection & Processing) — advancing ``Packet.hop``
+  through the source route (the multi-header ``Header_id`` mechanism);
+* **CFD** (Contending Flows Detection) — when a packet's wait exceeds the
+  router threshold, snapshot the flows sharing the congested queue and
+  attach the dominant ones to the packet's predictive header;
+* **GPA** (Generation of Predictive ACK) — under router-based notification
+  (§3.4.1) the CFD result is instead handed to a fabric callback that
+  injects predictive ACKs straight to the contending sources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.network.config import NetworkConfig
+from repro.network.packet import DATA, ContendingFlow, Packet
+
+#: seconds a port's CFD stays quiet after recording a congestion episode
+#: ("notification is performed only once per buffer's access", §3.2.7).
+CFD_COOLDOWN_S = 20e-6
+
+
+@dataclass
+class OutputPort:
+    """FIFO link server plus the statistics the evaluation plots.
+
+    ``queue`` holds ``(depart_time, flow, size_bytes)`` tuples for packets
+    that have been accepted but not yet fully transmitted; the CFD module
+    inspects it to identify contending flows.
+    """
+
+    router: int
+    target_kind: str  # "router" or "host"
+    target: int
+    #: absolute time at which the link becomes free.
+    busy_until: float = 0.0
+    #: in-flight/queued packets, for CFD inspection.
+    queue: deque = field(default_factory=deque)
+    #: bytes currently queued (buffer-occupancy bookkeeping).
+    occupancy_bytes: int = 0
+    #: cumulative contention statistics.
+    total_wait_s: float = 0.0
+    packets: int = 0
+    bytes: int = 0
+    #: count of packets that found the buffer logically full.
+    overflows: int = 0
+    #: count of On/Off flow-control stalls (packets made to wait upstream).
+    stalls: int = 0
+    #: CFD quiet-period end.
+    cfd_quiet_until: float = 0.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Average contention latency seen by packets through this port."""
+        return self.total_wait_s / self.packets if self.packets else 0.0
+
+
+class Router:
+    """A network node executing the PR-DRB forwarding pipeline."""
+
+    def __init__(
+        self,
+        router_id: int,
+        config: NetworkConfig,
+        congestion_handler: Optional[Callable] = None,
+    ) -> None:
+        self.router_id = router_id
+        self.config = config
+        #: fabric-installed hook: fn(router, port, packet, wait_s, flows, now)
+        #: -> bool, returning True when it handled notification itself
+        #: (router-based GPA); False leaves the destination-based path.
+        self.congestion_handler = congestion_handler
+        self.ports: dict[tuple[str, int], OutputPort] = {}
+        # Aggregate, per-router contention statistics (latency maps).
+        self.total_wait_s = 0.0
+        self.packets_forwarded = 0
+        self.bytes_forwarded = 0
+        #: optional metrics hook: fn(router_id, now, wait_s)
+        self.wait_observer: Optional[Callable[[int, float, float], None]] = None
+
+    # ------------------------------------------------------------------
+    def port_to(self, kind: str, target: int) -> OutputPort:
+        """Get or create the output port toward ``(kind, target)``."""
+        key = (kind, target)
+        port = self.ports.get(key)
+        if port is None:
+            port = OutputPort(self.router_id, kind, target)
+            self.ports[key] = port
+        return port
+
+    # ------------------------------------------------------------------
+    def forward(self, packet: Packet, port: OutputPort, now: float) -> float:
+        """Serve ``packet`` through ``port``; return its hand-off time.
+
+        Applies LU (latency accumulation), CFD (contending-flow capture)
+        and the buffer occupancy check.  The caller (fabric) schedules the
+        next-hop arrival at the returned time plus the link delay.  Under
+        store-and-forward timing the hand-off is the packet tail's
+        departure; under virtual cut-through it is the header's, so
+        uncongested hops pipeline while the link still serializes the
+        whole body (``busy_until`` always advances by the full
+        transmission time).
+        """
+        cfg = self.config
+        ready = now + cfg.routing_delay_s
+        depart_start = max(ready, port.busy_until)
+        wait = depart_start - ready
+        tx = cfg.tx_time_s(packet.size_bytes)
+        depart = depart_start + tx
+
+        self.occupy(packet, port, depart, now)
+        self.account(packet, port, wait, now)
+        if cfg.cut_through and port.target_kind == "router":
+            # Hand the header to the next router early; final delivery to
+            # a host is still timed at the packet tail, so end-to-end
+            # latency counts one full serialization.
+            header_tx = cfg.tx_time_s(
+                min(cfg.cut_through_header_bytes, packet.size_bytes)
+            )
+            return depart_start + header_tx
+        return depart
+
+    # ------------------------------------------------------------------
+    def occupy(self, packet: Packet, port: OutputPort, depart: float, now: float) -> None:
+        """Buffer/link occupancy bookkeeping for a packet departing at
+        ``depart`` (virtual cut-through buffers whenever the link is
+        busy, §2.1.2)."""
+        self._purge(port, now)
+        if port.occupancy_bytes + packet.size_bytes > self.config.buffer_size_bytes:
+            port.overflows += 1
+        port.queue.append((depart, packet.flow(), packet.size_bytes))
+        port.occupancy_bytes += packet.size_bytes
+        port.busy_until = max(port.busy_until, depart)
+
+    def account(self, packet: Packet, port: OutputPort, wait: float, now: float) -> None:
+        """LU + CFD: record contention latency and detect congestion.
+
+        Shared by the immediate (FIFO) forwarding path and the
+        virtual-channel dispatcher.
+        """
+        cfg = self.config
+        packet.path_latency += wait
+        port.total_wait_s += wait
+        port.packets += 1
+        port.bytes += packet.size_bytes
+        self.total_wait_s += wait
+        self.packets_forwarded += 1
+        self.bytes_forwarded += packet.size_bytes
+        if self.wait_observer is not None:
+            self.wait_observer(self.router_id, now, wait)
+
+        # CFD: only data packets participate in congestion detection.
+        if (
+            packet.kind == DATA
+            and wait > cfg.router_threshold_s
+            and now >= port.cfd_quiet_until
+        ):
+            flows = self._contending_flows(port, packet)
+            port.cfd_quiet_until = now + CFD_COOLDOWN_S
+            handled = False
+            if self.congestion_handler is not None:
+                handled = bool(
+                    self.congestion_handler(self, port, packet, wait, flows, now)
+                )
+            if handled:
+                # Router-based GPA already notified sources; flag the packet
+                # so the destination sends a latency-only ACK (§3.4.2).
+                packet.predictive_bit = True
+            else:
+                # Destination-based: ride the predictive header to the sink.
+                packet.contending = flows
+                packet.reporting_router = self.router_id
+
+    # ------------------------------------------------------------------
+    # On/Off flow control (§2.1.3)
+    # ------------------------------------------------------------------
+    def buffer_available(self, port: OutputPort, size_bytes: int, now: float) -> bool:
+        """True when the output buffer can admit ``size_bytes`` now."""
+        self._purge(port, now)
+        return port.occupancy_bytes + size_bytes <= self.config.buffer_size_bytes
+
+    def next_drain_time(self, port: OutputPort, now: float) -> float:
+        """Earliest time at which buffer space frees (strictly > now)."""
+        if port.queue:
+            head = port.queue[0][0]
+            if head > now:
+                return head
+        return now + self.config.packet_tx_time_s
+
+    # ------------------------------------------------------------------
+    def _purge(self, port: OutputPort, now: float) -> None:
+        queue = port.queue
+        while queue and queue[0][0] <= now:
+            _, _, size = queue.popleft()
+            port.occupancy_bytes -= size
+
+    def _contending_flows(self, port: OutputPort, packet: Packet) -> list[ContendingFlow]:
+        """Dominant flows currently sharing ``port``'s queue (§3.2.7).
+
+        Flows are ranked by queued bytes (their contribution to the
+        congestion); at most ``max_contending_flows`` unique pairs are
+        reported, always including the suffering packet's own flow.
+        """
+        shares: dict[ContendingFlow, int] = {}
+        for _, flow, size in port.queue:
+            shares[flow] = shares.get(flow, 0) + size
+        shares.setdefault(packet.flow(), packet.size_bytes)
+        total = sum(shares.values())
+        min_bytes = total * self.config.cfd_min_share
+        ranked = sorted(
+            ((f, b) for f, b in shares.items() if b >= min_bytes),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        limit = self.config.max_contending_flows
+        flows = [flow for flow, _ in ranked[:limit]]
+        if not flows:  # degenerate: everyone tiny — report the sufferer
+            flows = [packet.flow()]
+        return flows
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_contention_latency_s(self) -> float:
+        """Average buffer wait across all forwarded packets (latency map z)."""
+        if not self.packets_forwarded:
+            return 0.0
+        return self.total_wait_s / self.packets_forwarded

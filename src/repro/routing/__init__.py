@@ -1,0 +1,56 @@
+"""Routing policies (§2.1.4 taxonomy; Chapter 3 for the DRB family).
+
+Baselines: deterministic minimal, oblivious random/cyclic, source-adaptive.
+Contribution: DRB, PR-DRB (predictive), FR-DRB (fast response) and the
+predictive FR-DRB — all source-routed multipath policies balancing traffic
+over a metapath of multistep paths.
+"""
+
+from repro.routing.base import RoutingPolicy
+from repro.routing.deterministic import DeterministicPolicy
+from repro.routing.oblivious import RandomPolicy, CyclicPolicy
+from repro.routing.adaptive import InNetworkAdaptivePolicy, SourceAdaptivePolicy
+from repro.routing.drb import DRBPolicy
+from repro.routing.prdrb import PRDRBPolicy
+from repro.routing.frdrb import FRDRBPolicy
+
+__all__ = [
+    "RoutingPolicy",
+    "DeterministicPolicy",
+    "RandomPolicy",
+    "CyclicPolicy",
+    "SourceAdaptivePolicy",
+    "InNetworkAdaptivePolicy",
+    "DRBPolicy",
+    "PRDRBPolicy",
+    "FRDRBPolicy",
+    "make_policy",
+]
+
+
+def make_policy(name: str, **kwargs) -> RoutingPolicy:
+    """Factory used by the experiment harness.
+
+    Recognized names: ``deterministic``, ``random``, ``cyclic``,
+    ``adaptive``, ``adaptive-hop``, ``drb``, ``pr-drb``, ``fr-drb``, ``pr-fr-drb``.
+    """
+    name = name.lower()
+    if name == "deterministic":
+        return DeterministicPolicy()
+    if name == "random":
+        return RandomPolicy(**kwargs)
+    if name == "cyclic":
+        return CyclicPolicy(**kwargs)
+    if name == "adaptive":
+        return SourceAdaptivePolicy(**kwargs)
+    if name in ("adaptive-hop", "inadaptive"):
+        return InNetworkAdaptivePolicy(**kwargs)
+    if name == "drb":
+        return DRBPolicy(**kwargs)
+    if name in ("pr-drb", "prdrb"):
+        return PRDRBPolicy(**kwargs)
+    if name in ("fr-drb", "frdrb"):
+        return FRDRBPolicy(predictive=False, **kwargs)
+    if name in ("pr-fr-drb", "predictive-fr-drb"):
+        return FRDRBPolicy(predictive=True, **kwargs)
+    raise ValueError(f"unknown routing policy {name!r}")

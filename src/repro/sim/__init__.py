@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine (OPNET Modeler substitute).
+
+The paper evaluated PR-DRB inside OPNET's discrete-event engine; this
+subpackage provides the equivalent substrate: a calendar queue of timed
+events (:class:`~repro.sim.engine.Simulator`), deterministic tie-breaking,
+and seeded random-stream helpers (:mod:`repro.sim.rng`).
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Event", "Simulator", "SimulationError", "RandomStreams"]

@@ -1,0 +1,42 @@
+"""Seeded random-stream management.
+
+The paper reruns every simulation with multiple seeds and averages (§4.3).
+:class:`RandomStreams` hands out independent, reproducible
+``numpy.random.Generator`` streams keyed by name so that, e.g., traffic
+generation and adaptive-routing tie-breaks do not perturb each other when
+one component is reconfigured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomStreams:
+    """A family of named, independent random generators from one root seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            # Independent child streams derived from (root seed, name).
+            seq = np.random.SeedSequence(self.seed, spawn_key=(_stable_hash(name),))
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, offset: int) -> "RandomStreams":
+        """A new family for repetition ``offset`` of the same experiment."""
+        return RandomStreams(self.seed + offset)
+
+
+def _stable_hash(name: str) -> int:
+    """Deterministic 32-bit hash of a stream name (Python's hash is salted)."""
+    value = 2166136261
+    for byte in name.encode("utf-8"):
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value

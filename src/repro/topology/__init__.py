@@ -1,0 +1,15 @@
+"""Network topologies (§2.1.1).
+
+The paper evaluates PR-DRB on an 8x8 mesh and on k-ary n-tree (fat-tree)
+networks; torus and hypercube are provided as additional direct topologies
+for the generic DRB path-expansion machinery.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.mesh import Mesh2D, Torus2D
+from repro.topology.fattree import KaryNTree
+from repro.topology.hypercube import Hypercube
+from repro.topology.karycube import KaryNCube
+from repro.topology.slimtree import SlimmedKaryNTree
+
+__all__ = ["Topology", "Mesh2D", "Torus2D", "KaryNTree", "Hypercube", "KaryNCube", "SlimmedKaryNTree"]

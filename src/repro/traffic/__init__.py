@@ -1,0 +1,29 @@
+"""Workload generation (§4.4-4.6).
+
+Synthetic permutation patterns (Table 4.1), uniform and hot-spot specific
+patterns, rate-controlled injection processes and the bursty on/off
+modulation of Fig. 2.6.
+"""
+
+from repro.traffic.patterns import (
+    PATTERNS,
+    TrafficPattern,
+    bit_reversal,
+    perfect_shuffle,
+    matrix_transpose,
+    make_pattern,
+)
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import SyntheticTrafficSource, HotSpotWorkload
+
+__all__ = [
+    "PATTERNS",
+    "TrafficPattern",
+    "bit_reversal",
+    "perfect_shuffle",
+    "matrix_transpose",
+    "make_pattern",
+    "BurstSchedule",
+    "SyntheticTrafficSource",
+    "HotSpotWorkload",
+]

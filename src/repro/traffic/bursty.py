@@ -1,0 +1,74 @@
+"""Bursty traffic modulation (§2.2.3, Fig. 2.6).
+
+Parallel applications alternate computation (network-quiet) and
+communication (network-heavy) phases.  A :class:`BurstSchedule` describes
+the resulting on/off envelope: bursts of ``on_s`` seconds separated by
+``off_s`` gaps, repeated ``repetitions`` times — the repetition is exactly
+what PR-DRB's predictive module exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BurstSchedule:
+    """Periodic on/off injection envelope."""
+
+    #: burst (communication phase) duration, seconds.
+    on_s: float
+    #: inter-burst (computation phase) gap, seconds.
+    off_s: float
+    #: time of the first burst's start.
+    start_s: float = 0.0
+    #: number of bursts; None = unbounded.
+    repetitions: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.on_s <= 0 or self.off_s < 0:
+            raise ValueError("need on_s > 0 and off_s >= 0")
+
+    @property
+    def period_s(self) -> float:
+        return self.on_s + self.off_s
+
+    def burst_index(self, t: float) -> int | None:
+        """Index of the burst active at ``t``, or None when off."""
+        if t < self.start_s:
+            return None
+        rel = t - self.start_s
+        index = int(rel // self.period_s)
+        if self.repetitions is not None and index >= self.repetitions:
+            return None
+        return index if (rel - index * self.period_s) < self.on_s else None
+
+    def is_on(self, t: float) -> bool:
+        return self.burst_index(t) is not None
+
+    def next_on(self, t: float) -> float | None:
+        """Earliest time >= t at which injection is (still) allowed."""
+        if self.is_on(t):
+            return t
+        if t < self.start_s:
+            return self.start_s
+        rel = t - self.start_s
+        index = int(rel // self.period_s) + 1
+        if self.repetitions is not None and index >= self.repetitions:
+            return None
+        candidate = self.start_s + index * self.period_s
+        # start + index * period can land an ULP before the burst under
+        # floating point; nudge forward until the schedule agrees.
+        while not self.is_on(candidate):
+            candidate = math.nextafter(candidate, math.inf)
+        return candidate
+
+    def end_time(self) -> float | None:
+        """End of the last burst, or None when unbounded."""
+        if self.repetitions is None:
+            return None
+        return self.start_s + (self.repetitions - 1) * self.period_s + self.on_s
+
+
+ALWAYS_ON = BurstSchedule(on_s=float("inf"), off_s=0.0)

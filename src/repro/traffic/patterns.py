@@ -1,0 +1,109 @@
+"""Synthetic traffic patterns (Table 4.1, §4.6).
+
+Node ids are treated as ``bits``-wide binary numbers; destinations are bit
+permutations of sources:
+
+* **bit reversal** — ``d_i = s_{n-i-1}``;
+* **perfect shuffle** — ``d_i = s_{(i-1) mod n}`` (rotate left);
+* **matrix transpose** — ``d_i = s_{(i + n/2) mod n}`` (swap halves);
+* **uniform** — destination drawn uniformly per message (§4.6's noise and
+  low-load phases).
+
+All permutations are bijections on ``[0, 2**bits)`` — the property tests
+check this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def _bits_of(value: int, bits: int) -> list[int]:
+    """LSB-first bit list."""
+    return [(value >> i) & 1 for i in range(bits)]
+
+
+def _from_bits(bit_list: list[int]) -> int:
+    value = 0
+    for i, b in enumerate(bit_list):
+        value |= b << i
+    return value
+
+
+def bit_reversal(src: int, bits: int) -> int:
+    """d_i = s_{n-i-1}: reverse the bit string."""
+    s = _bits_of(src, bits)
+    return _from_bits(list(reversed(s)))
+
+
+def perfect_shuffle(src: int, bits: int) -> int:
+    """d_i = s_{(i-1) mod n}: rotate the bit string left by one."""
+    s = _bits_of(src, bits)
+    d = [s[(i - 1) % bits] for i in range(bits)]
+    return _from_bits(d)
+
+
+def matrix_transpose(src: int, bits: int) -> int:
+    """d_i = s_{(i + n/2) mod n}: swap the bit-string halves.
+
+    With odd ``bits`` the rotation by ``bits // 2`` is used (the standard
+    generalization; the paper's networks all have even ``bits``).
+    """
+    half = bits // 2
+    s = _bits_of(src, bits)
+    d = [s[(i + half) % bits] for i in range(bits)]
+    return _from_bits(d)
+
+
+@dataclass
+class TrafficPattern:
+    """A destination function over ``2**bits`` nodes."""
+
+    name: str
+    bits: int
+    fn: Optional[Callable[[int, int], int]] = None
+    rng: Optional[np.random.Generator] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.bits
+
+    def destination(self, src: int) -> int:
+        if not 0 <= src < self.num_nodes:
+            raise ValueError(f"source {src} out of range for {self.num_nodes} nodes")
+        if self.fn is not None:
+            return self.fn(src, self.bits)
+        # Uniform: any node except the source itself.
+        if self.rng is None:
+            raise ValueError("uniform pattern needs an rng")
+        dst = int(self.rng.integers(self.num_nodes - 1))
+        return dst if dst < src else dst + 1
+
+    @property
+    def is_permutation(self) -> bool:
+        return self.fn is not None
+
+
+PATTERNS = {
+    "bit-reversal": bit_reversal,
+    "perfect-shuffle": perfect_shuffle,
+    "matrix-transpose": matrix_transpose,
+}
+
+
+def make_pattern(
+    name: str, num_nodes: int, rng: Optional[np.random.Generator] = None
+) -> TrafficPattern:
+    """Build a pattern over ``num_nodes`` (must be a power of two)."""
+    bits = int(num_nodes).bit_length() - 1
+    if 1 << bits != num_nodes:
+        raise ValueError(f"num_nodes must be a power of two, got {num_nodes}")
+    if name == "uniform":
+        return TrafficPattern(name=name, bits=bits, fn=None, rng=rng)
+    fn = PATTERNS.get(name)
+    if fn is None:
+        raise ValueError(f"unknown pattern {name!r}; known: {sorted(PATTERNS)} + uniform")
+    return TrafficPattern(name=name, bits=bits, fn=fn)

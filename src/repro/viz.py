@@ -1,0 +1,75 @@
+"""Text-mode visualization helpers.
+
+The thesis presents latency *surface maps* (Fig. 4.7) and latency-vs-time
+curves; this module renders both as plain text so examples, the CLI and
+benchmark output stay dependency-free:
+
+* :func:`ascii_surface` — a shaded character grid of a latency map;
+* :func:`sparkline` — a one-line unicode chart of a time series;
+* :func:`horizontal_bars` — labelled bar chart for policy comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_surface(surface: np.ndarray, flip_y: bool = True) -> str:
+    """Render a 2-D array as a shaded character grid.
+
+    Cell intensity is relative to the array's peak; ``flip_y`` puts row 0
+    at the bottom (matching the mesh coordinate convention).
+    """
+    if surface.ndim != 2:
+        raise ValueError("surface must be 2-D")
+    peak = float(surface.max()) if surface.size else 0.0
+    rows = surface[::-1] if flip_y else surface
+    if peak <= 0:
+        return "\n".join(" " * surface.shape[1] for _ in range(surface.shape[0]))
+    lines = []
+    for row in rows:
+        lines.append(
+            "".join(_SHADES[min(9, int(v / peak * 9.999))] for v in row)
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into one line of block characters."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        # Window-average down to the requested width.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+             for a, b in zip(edges, edges[1:])]
+        )
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        return _SPARKS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    return "".join(_SPARKS[min(7, int(v * 7.999))] for v in scaled)
+
+
+def horizontal_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Labelled horizontal bar chart, longest bar = largest value."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * (int(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{name.ljust(label_w)}  {bar} {value:g}{unit}")
+    return "\n".join(lines)

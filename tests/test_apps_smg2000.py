@@ -1,0 +1,67 @@
+"""Tests for the SMG2000 semicoarsening multigrid synthesizer."""
+
+import numpy as np
+
+from repro.apps.commmatrix import CommMatrixStats
+from repro.apps.phases import detect_phases
+from repro.apps.smg2000 import smg2000_trace
+from repro.mpi.runtime import TraceRuntime
+from repro.mpi.trace import Trace, communication_matrix
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.deterministic import DeterministicPolicy
+from repro.sim.engine import Simulator
+from repro.topology.fattree import KaryNTree
+
+
+def test_replays_to_completion():
+    trace = smg2000_trace(num_ranks=16, iterations=1)
+    sim = Simulator()
+    fabric = Fabric(KaryNTree(4, 2), NetworkConfig(), DeterministicPolicy(), sim)
+    rt = TraceRuntime(fabric, trace)
+    assert rt.run(timeout_s=10.0) > 0
+    assert fabric.accepted_ratio() == 1.0
+
+
+def test_anisotropic_halo_structure():
+    """Semicoarsening touches one axis at a time: per-rank partner count
+    stays small (<= 6 face neighbours), no diagonal partners."""
+    trace = smg2000_trace(num_ranks=64, iterations=1)
+    stats = CommMatrixStats.from_trace(trace)
+    assert stats.max_tdc <= 6
+    grid_axes_only = True
+    matrix = communication_matrix(trace, include_collectives=False)
+    from repro.apps.grids import Grid3D
+
+    grid = Grid3D(64, periodic=False)
+    for src in range(64):
+        for dst in np.nonzero(matrix[src])[0]:
+            a, b = grid.coords(src), grid.coords(int(dst))
+            differing = sum(x != y for x, y in zip(a, b))
+            grid_axes_only &= differing == 1
+    assert grid_axes_only
+
+
+def test_phase_structure_repeats():
+    trace = smg2000_trace(num_ranks=27, iterations=4)
+    report = detect_phases(trace)
+    assert report.relevant_phases >= 1
+    assert report.total_weight >= 4  # V-cycle levels repeat per iteration
+    assert trace.metadata["paper_weight"] == 1200
+
+
+def test_message_sizes_shrink_with_level():
+    trace = smg2000_trace(num_ranks=27, iterations=1, message_bytes=4096)
+    sizes = [
+        e.size_bytes
+        for e in trace.events[13]  # a center rank
+        if hasattr(e, "size_bytes") and e.size_bytes > 128
+    ]
+    assert max(sizes) >= 2 * min(s for s in sizes if s > 128)
+
+
+def test_registered_in_app_traces():
+    from repro.apps import APP_TRACES
+
+    assert "smg2000" in APP_TRACES
+    assert isinstance(APP_TRACES["smg2000"](num_ranks=8, iterations=1), Trace)

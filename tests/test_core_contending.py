@@ -1,0 +1,70 @@
+"""Tests for contending-flow signatures (§3.2.7)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.contending import make_signature, signature_similarity
+from repro.network.packet import ContendingFlow
+
+
+def sig(*pairs):
+    return make_signature(ContendingFlow(*p) for p in pairs)
+
+
+def test_make_signature_deduplicates():
+    s = sig((1, 5), (1, 5), (2, 7))
+    assert len(s) == 2
+
+
+def test_identical_signatures():
+    a = sig((1, 5), (2, 7))
+    assert signature_similarity(a, a) == 1.0
+
+
+def test_disjoint_signatures():
+    assert signature_similarity(sig((1, 5)), sig((2, 7))) == 0.0
+
+
+def test_partial_overlap_jaccard():
+    a = sig((1, 5), (2, 7), (3, 8))
+    b = sig((1, 5), (2, 7), (4, 9))
+    # |inter| = 2, |union| = 4.
+    assert signature_similarity(a, b) == 0.5
+
+
+def test_empty_signature_cases():
+    assert signature_similarity(sig(), sig()) == 1.0
+    assert signature_similarity(sig(), sig((1, 2))) == 0.0
+
+
+def test_eighty_percent_criterion():
+    # 4 of 5 flows shared, 6 in the union -> 4/6 < 0.8;
+    # 4 shared of 4 vs 5 -> 4/5 = 0.8 exactly.
+    a = sig((0, 1), (2, 3), (4, 5), (6, 7))
+    b = sig((0, 1), (2, 3), (4, 5), (6, 7), (8, 9))
+    assert signature_similarity(a, b) == 0.8
+
+
+flows = st.tuples(st.integers(0, 20), st.integers(0, 20))
+sigs = st.frozensets(flows, max_size=12).map(
+    lambda s: make_signature(ContendingFlow(*f) for f in s)
+)
+
+
+@given(sigs, sigs)
+def test_similarity_symmetric_and_bounded(a, b):
+    s1 = signature_similarity(a, b)
+    s2 = signature_similarity(b, a)
+    assert s1 == s2
+    assert 0.0 <= s1 <= 1.0
+
+
+@given(sigs)
+def test_self_similarity_is_one(a):
+    assert signature_similarity(a, a) == 1.0
+
+
+@given(sigs, sigs)
+def test_subset_similarity_is_ratio(a, b):
+    merged = frozenset(a | b)
+    if merged:
+        assert signature_similarity(a, merged) == len(a) / len(merged)

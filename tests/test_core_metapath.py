@@ -1,0 +1,120 @@
+"""Tests for the metapath (Eq. 3.4, §3.2.3)."""
+
+import pytest
+
+from repro.core.metapath import Metapath
+
+CANDS = [(0, 1, 2), (0, 3, 2), (0, 4, 5, 2), (0, 6, 7, 2)]
+
+
+def make(per_hop=1e-6):
+    return Metapath(CANDS, per_hop_cost_s=per_hop)
+
+
+def test_starts_with_single_active_path():
+    mp = make()
+    assert mp.active_count == 1
+    assert mp.active_indices == (0,)
+    assert mp.max_paths == 4
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ValueError):
+        Metapath([], per_hop_cost_s=1e-6)
+
+
+def test_eq_3_4_harmonic_aggregate():
+    mp = make()
+    mp.expand()
+    l0 = mp.msps[0].latency_s
+    l1 = mp.msps[1].latency_s
+    expected = 1.0 / (1.0 / l0 + 1.0 / l1)
+    assert mp.latency_s() == pytest.approx(expected)
+
+
+def test_aggregate_drops_as_paths_open():
+    mp = make()
+    single = mp.latency_s()
+    mp.expand()
+    double = mp.latency_s()
+    assert double < single
+
+
+def test_expand_until_max():
+    mp = make()
+    assert mp.expand() and mp.expand() and mp.expand()
+    assert not mp.expand()
+    assert mp.active_count == 4
+
+
+def test_shrink_removes_worst_and_keeps_original():
+    mp = make()
+    mp.expand()
+    mp.expand()
+    # Make path 1 terrible.
+    mp.record_ack(1, 1e-2)
+    assert mp.shrink()
+    assert 1 not in mp.active_indices
+    assert 0 in mp.active_indices
+    # Shrinking to the floor keeps the original.
+    assert mp.shrink()
+    assert not mp.shrink()
+    assert mp.active_indices == (0,)
+
+
+def test_apply_solution_opens_saved_set():
+    mp = make()
+    mp.apply_solution((2, 3))
+    assert mp.active_indices == (0, 2, 3)
+
+
+def test_apply_solution_is_additive():
+    # Solutions are applied while congestion builds: they never close
+    # paths that are already open (closing is the shrink path's job).
+    mp = make()
+    mp.expand()  # opens 1
+    mp.apply_solution((2,))
+    assert mp.active_indices == (0, 1, 2)
+    mp.apply_solution(())
+    assert mp.active_indices == (0, 1, 2)
+
+
+def test_apply_solution_ignores_invalid_indices():
+    mp = make()
+    mp.apply_solution((1, 99, -3))
+    assert mp.active_indices == (0, 1)
+
+
+def test_fresh_paths_seeded_with_congestion_level():
+    mp = make()
+    mp.record_ack(0, 8e-6)  # original path is congested
+    mp.expand()
+    opened = mp.msps[mp.active_indices[-1]]
+    assert opened.queueing_s == pytest.approx(8e-6)
+    assert opened.awaiting_ack
+    assert not mp.evaluated()
+    mp.record_ack(mp.active_indices[-1], 1e-6)
+    assert mp.evaluated()
+
+
+def test_apply_solution_resets_newly_opened():
+    mp = make()
+    mp.expand()
+    mp.record_ack(1, 1e-3)
+    mp.shrink()  # close path 1 with bad latency memory
+    mp.apply_solution((1,))
+    assert mp.msps[1].samples == 0  # fresh estimate on re-open
+
+
+def test_record_ack_updates_only_target():
+    mp = make()
+    mp.record_ack(0, 7e-6)
+    assert mp.msps[0].queueing_s == pytest.approx(7e-6)
+    assert mp.msps[1].samples == 0
+    # Out-of-range index is ignored (stale ACK from a closed config).
+    mp.record_ack(99, 1.0)
+
+
+def test_path_for_returns_router_tuple():
+    mp = make()
+    assert mp.path_for(2) == (0, 4, 5, 2)

@@ -1,0 +1,69 @@
+"""Tests for multistep paths (Eqs 3.1-3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.msp import MultiStepPath
+
+
+def make(path=(0, 1, 2, 3), cost=1e-6, alpha=0.5):
+    return MultiStepPath(path=tuple(path), per_hop_cost_s=cost, alpha=alpha)
+
+
+def test_length_is_hop_count():
+    assert make((0, 1, 2, 3)).length == 3
+    assert make((7,)).length == 0
+
+
+def test_initial_latency_is_transmission_only():
+    msp = make((0, 1, 2), cost=2e-6)
+    assert msp.latency_s == pytest.approx(msp.transmission_s)
+    assert msp.transmission_s == pytest.approx(3 * 2e-6)
+
+
+def test_first_sample_replaces_queueing():
+    msp = make()
+    msp.record(5e-6)
+    assert msp.queueing_s == pytest.approx(5e-6)
+    assert msp.latency_s == pytest.approx(msp.transmission_s + 5e-6)
+
+
+def test_ema_smoothing():
+    msp = make(alpha=0.5)
+    msp.record(4e-6)
+    msp.record(8e-6)
+    assert msp.queueing_s == pytest.approx(6e-6)
+    msp.record(2e-6)
+    assert msp.queueing_s == pytest.approx(4e-6)
+
+
+def test_reset_restores_optimism():
+    msp = make()
+    msp.record(1e-3)
+    msp.reset()
+    assert msp.samples == 0
+    assert msp.latency_s == pytest.approx(msp.transmission_s)
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        make().record(-1e-9)
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        MultiStepPath(path=(), per_hop_cost_s=1e-6)
+
+
+@given(
+    st.lists(st.floats(0, 1e-3), min_size=1, max_size=30),
+    st.floats(0.05, 0.95),
+)
+def test_latency_always_at_least_transmission(samples, alpha):
+    msp = make(alpha=alpha)
+    for s in samples:
+        msp.record(s)
+    assert msp.latency_s >= msp.transmission_s
+    assert msp.samples == len(samples)
+    # The EMA stays within the observed sample range.
+    assert min(samples) - 1e-12 <= msp.queueing_s <= max(samples) + 1e-12

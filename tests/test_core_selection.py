@@ -1,0 +1,67 @@
+"""Tests for Eq. 3.6 path selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.metapath import Metapath
+from repro.core.selection import select_msp, selection_probabilities
+
+CANDS = [(0, 1, 2), (0, 3, 2), (0, 4, 5, 2)]
+
+
+def make():
+    return Metapath(CANDS, per_hop_cost_s=1e-6)
+
+
+def test_pdf_sums_to_one_and_orders_by_inverse_latency():
+    mp = make()
+    mp.expand()
+    mp.expand()
+    mp.record_ack(0, 1e-6)
+    mp.record_ack(1, 9e-6)
+    pdf = selection_probabilities(mp)
+    assert pdf.sum() == pytest.approx(1.0)
+    # Path 0 (lower latency) must be most likely.
+    assert pdf[0] == max(pdf)
+    # Explicit Eq. 3.6 check.
+    lat = np.array([m.latency_s for m in mp.active_msps])
+    expected = (1 / lat) / (1 / lat).sum()
+    assert np.allclose(pdf, expected)
+
+
+def test_single_path_always_selected():
+    mp = make()
+    rng = np.random.default_rng(0)
+    assert all(select_msp(mp, rng) == 0 for _ in range(10))
+
+
+def test_selection_frequency_tracks_pdf():
+    mp = make()
+    mp.expand()
+    mp.record_ack(0, 0.0)
+    mp.record_ack(1, 30e-6)  # path 1 is ~10x worse
+    rng = np.random.default_rng(42)
+    draws = [select_msp(mp, rng) for _ in range(4000)]
+    share0 = draws.count(0) / len(draws)
+    pdf = selection_probabilities(mp)
+    assert share0 == pytest.approx(pdf[0], abs=0.03)
+
+
+def test_selection_returns_global_indices():
+    mp = make()
+    mp.apply_solution((2,))  # active = {0, 2}
+    rng = np.random.default_rng(1)
+    seen = {select_msp(mp, rng) for _ in range(200)}
+    assert seen <= {0, 2}
+    assert seen == {0, 2}
+
+
+def test_shorter_paths_favoured_at_equal_queueing():
+    mp = make()
+    mp.expand()
+    mp.expand()
+    for i in range(3):
+        mp.record_ack(i, 2e-6)
+    pdf = selection_probabilities(mp)
+    # Path 2 is one hop longer -> higher latency -> smaller probability.
+    assert pdf[2] == min(pdf)

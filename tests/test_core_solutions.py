@@ -1,0 +1,92 @@
+"""Tests for the saved-solution database (§3.2.8)."""
+
+import pytest
+
+from repro.core.contending import make_signature
+from repro.core.solutions import SolutionDatabase
+from repro.network.packet import ContendingFlow
+
+
+def sig(*pairs):
+    return make_signature(ContendingFlow(*p) for p in pairs)
+
+
+def test_save_and_exact_lookup():
+    db = SolutionDatabase()
+    s = sig((1, 5), (2, 7))
+    db.save(s, (0, 1, 2), 3e-6)
+    sol = db.lookup(s)
+    assert sol is not None
+    assert sol.path_indices == (0, 1, 2)
+    assert sol.reuse_count == 1
+    assert db.hits == 1
+
+
+def test_lookup_miss_below_threshold():
+    db = SolutionDatabase(match_threshold=0.8)
+    db.save(sig((1, 5), (2, 7), (3, 8)), (0, 1), 1e-6)
+    # Only 1 of 3 flows shared: Jaccard = 1/5 < 0.8.
+    assert db.lookup(sig((1, 5), (9, 9), (8, 8))) is None
+    assert db.hits == 0
+    assert db.lookups == 1
+
+
+def test_approximate_match_at_threshold():
+    db = SolutionDatabase(match_threshold=0.8)
+    base = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    db.save(sig(*base), (0, 3), 1e-6)
+    # One extra flow: 4/5 = 0.8 -> hit.
+    assert db.lookup(sig(*base, (8, 9))) is not None
+
+
+def test_save_updates_when_better():
+    db = SolutionDatabase()
+    s = sig((1, 5))
+    db.save(s, (0, 1), 5e-6)
+    db.save(s, (0, 2), 2e-6)  # better latency replaces
+    assert db.patterns_learned == 1
+    assert db.lookup(s).path_indices == (0, 2)
+
+
+def test_save_keeps_better_existing():
+    db = SolutionDatabase()
+    s = sig((1, 5))
+    db.save(s, (0, 1), 2e-6)
+    db.save(s, (0, 2), 5e-6)  # worse: ignored
+    assert db.lookup(s).path_indices == (0, 1)
+
+
+def test_distinct_patterns_accumulate():
+    db = SolutionDatabase()
+    db.save(sig((1, 5)), (0, 1), 1e-6)
+    db.save(sig((2, 7)), (0, 2), 1e-6)
+    assert db.patterns_learned == 2
+
+
+def test_empty_signature_rejected_and_never_matches():
+    db = SolutionDatabase()
+    with pytest.raises(ValueError):
+        db.save(sig(), (0,), 1e-6)
+    db.save(sig((1, 2)), (0,), 1e-6)
+    assert db.lookup(sig()) is None
+
+
+def test_best_match_prefers_higher_similarity():
+    db = SolutionDatabase(match_threshold=0.5)
+    a = sig((0, 1), (2, 3))
+    b = sig((0, 1), (4, 5))
+    db.save(a, (0, 1), 1e-6)
+    db.save(b, (0, 2), 1e-6)
+    hit = db.lookup(sig((0, 1), (2, 3)))
+    assert hit.path_indices == (0, 1)
+
+
+def test_reuse_statistics():
+    db = SolutionDatabase()
+    s1, s2 = sig((1, 5)), sig((2, 6))
+    db.save(s1, (0, 1), 1e-6)
+    db.save(s2, (0, 2), 1e-6)
+    db.lookup(s1)
+    db.lookup(s1)
+    assert db.patterns_reapplied == 1
+    assert db.total_reuses == 2

@@ -1,0 +1,47 @@
+"""Tests for thresholds and zones (§3.2.4-3.2.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thresholds import Thresholds, Zone
+
+
+def test_zone_classification():
+    th = Thresholds(low_s=1e-6, high_s=3e-6)
+    assert th.zone(0.5e-6) is Zone.LOW
+    assert th.zone(2e-6) is Zone.MEDIUM
+    assert th.zone(4e-6) is Zone.HIGH
+
+
+def test_boundaries_belong_to_working_zone():
+    th = Thresholds(low_s=1.0, high_s=2.0)
+    assert th.zone(1.0) is Zone.MEDIUM
+    assert th.zone(2.0) is Zone.MEDIUM
+
+
+def test_invalid_thresholds():
+    with pytest.raises(ValueError):
+        Thresholds(low_s=2.0, high_s=1.0)
+    with pytest.raises(ValueError):
+        Thresholds(low_s=-1.0, high_s=1.0)
+    with pytest.raises(ValueError):
+        Thresholds(low_s=1.0, high_s=1.0)
+
+
+def test_from_base_latency_factors():
+    th = Thresholds.from_base_latency(10e-6, low_factor=0.5, high_factor=1.5)
+    assert th.low_s == pytest.approx(5e-6)
+    assert th.high_s == pytest.approx(15e-6)
+
+
+def test_from_base_latency_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Thresholds.from_base_latency(0.0)
+
+
+@given(st.floats(1e-9, 1e-2), st.floats(0.01, 0.99), st.floats(1.01, 10))
+def test_zone_total_order(base, lo, hi):
+    th = Thresholds.from_base_latency(base, low_factor=lo, high_factor=hi)
+    assert th.zone(th.low_s / 2) is Zone.LOW
+    assert th.zone((th.low_s + th.high_s) / 2) is Zone.MEDIUM
+    assert th.zone(th.high_s * 2) is Zone.HIGH

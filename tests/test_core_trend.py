@@ -1,0 +1,114 @@
+"""Tests for the latency-trend predictor (§5.2 extension)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.trend import TrendDetector
+
+
+def test_not_ready_until_min_samples():
+    trend = TrendDetector(window=8, min_samples=4)
+    for i in range(3):
+        trend.add(i * 1e-5, 1e-6)
+        assert not trend.ready
+    trend.add(3e-5, 1e-6)
+    assert trend.ready
+
+
+def test_rising_slope_detected():
+    trend = TrendDetector(window=8, min_samples=4)
+    for i in range(6):
+        trend.add(i * 1e-5, i * 2e-6)  # latency grows 0.2 s/s
+    assert trend.slope() == pytest.approx(0.2, rel=1e-6)
+
+
+def test_flat_series_has_zero_slope():
+    trend = TrendDetector()
+    for i in range(8):
+        trend.add(i * 1e-5, 5e-6)
+    assert trend.slope() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_projection_extends_last_sample():
+    trend = TrendDetector(window=8, min_samples=4)
+    for i in range(6):
+        trend.add(i * 1e-5, i * 1e-6)  # slope 0.1
+    latest = 5e-6
+    assert trend.projected(1e-4) == pytest.approx(latest + 0.1 * 1e-4)
+
+
+def test_projection_never_negative():
+    trend = TrendDetector(window=8, min_samples=4)
+    for i in range(6):
+        trend.add(i * 1e-5, (6 - i) * 1e-6)  # falling fast
+    assert trend.projected(1.0) == 0.0
+
+
+def test_identical_timestamps_degenerate():
+    trend = TrendDetector(window=4, min_samples=2)
+    trend.add(1.0, 1e-6)
+    trend.add(1.0, 9e-6)
+    assert trend.slope() == 0.0
+
+
+def test_window_slides():
+    trend = TrendDetector(window=4, min_samples=2)
+    for i in range(10):
+        trend.add(float(i), 1.0)  # flat tail overwrites any early rise
+    trend.add(10.0, 1.0)
+    assert trend.slope() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_reset_clears():
+    trend = TrendDetector(window=4, min_samples=2)
+    trend.add(0.0, 1.0)
+    trend.add(1.0, 2.0)
+    trend.reset()
+    assert not trend.ready
+    assert trend.projected(1.0) == 0.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        TrendDetector(window=1)
+    with pytest.raises(ValueError):
+        TrendDetector(min_samples=1)
+
+
+@given(st.lists(st.floats(0, 1e-3), min_size=4, max_size=20))
+def test_slope_of_monotone_series_signed(values):
+    rising = sorted(values)
+    trend = TrendDetector(window=len(rising), min_samples=4)
+    for i, v in enumerate(rising):
+        trend.add(i * 1e-5, v)
+    assert trend.slope() >= -1e-12
+
+
+def test_prdrb_trend_trigger_end_to_end():
+    """With trend detection on, PR-DRB reacts before Threshold_High."""
+    from repro.network.config import NetworkConfig
+    from repro.network.fabric import Fabric
+    from repro.network.packet import ACK, Packet
+    from repro.routing.prdrb import PRDRBConfig, PRDRBPolicy
+    from repro.sim.engine import Simulator
+    from repro.topology.mesh import Mesh2D
+
+    policy = PRDRBPolicy(
+        PRDRBConfig(trend_detection=True, reconfig_cooldown_s=0.0,
+                    trend_lead_s=5e-4)
+    )
+    Fabric(Mesh2D(4), NetworkConfig(), policy, Simulator())
+    fs = policy.flow_state(0, 15)
+    # Latency samples climbing toward (but still below) Threshold_High.
+    high = fs.thresholds.high_s
+    base = fs.metapath.original.transmission_s
+    for i, q in enumerate([0.1, 0.2, 0.3, 0.38, 0.44]):
+        ack = Packet(
+            src=15, dst=0, size_bytes=64, kind=ACK,
+            path=tuple(reversed(fs.metapath.path_for(0))),
+        )
+        ack.path_latency = q * base  # aggregate stays under high_s
+        policy.on_ack(ack, now=i * 5e-5)
+    assert fs.metapath.latency_s() <= high  # never actually crossed
+    assert policy.trend_triggers >= 1
+    assert fs.metapath.active_count >= 2  # early reaction opened a path

@@ -1,0 +1,85 @@
+"""Tests for the virtual cut-through switching option (§2.1.2)."""
+
+import pytest
+
+from repro.metrics.recorder import StatsRecorder
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.deterministic import DeterministicPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def run_one(cut_through: bool, hops_dst=3):
+    cfg = NetworkConfig(cut_through=cut_through)
+    sim = Simulator()
+    rec = StatsRecorder()
+    fabric = Fabric(Mesh2D(4), cfg, DeterministicPolicy(), sim, recorder=rec)
+    fabric.send(0, hops_dst, 1024)
+    sim.run()
+    return rec.mean_latency_s, cfg, fabric
+
+
+def test_cut_through_pipelines_uncongested_path():
+    saf_latency, cfg, _ = run_one(False)
+    vct_latency, _, _ = run_one(True)
+    # SAF: ~5 serializations (inject + 4 routers); VCT: ~2 (inject +
+    # final hop) plus per-hop header delays.
+    assert vct_latency < saf_latency
+    assert saf_latency - vct_latency > 2 * cfg.packet_tx_time_s
+
+
+def test_cut_through_latency_model():
+    vct_latency, cfg, _ = run_one(True)
+    header_tx = cfg.tx_time_s(cfg.cut_through_header_bytes)
+    hops = 4  # routers 0,1,2,3
+    expected = (
+        cfg.packet_tx_time_s                       # injection serialization
+        + (hops - 1) * (cfg.routing_delay_s + header_tx)  # pipelined hops
+        + cfg.routing_delay_s + cfg.packet_tx_time_s      # final delivery
+        + (hops + 1) * cfg.link_delay_s
+    )
+    assert vct_latency == pytest.approx(expected, rel=1e-6)
+
+
+def test_cut_through_preserves_link_capacity():
+    """The link still serializes full packets: back-to-back packets on one
+    port depart one transmission time apart, cut-through or not."""
+    cfg = NetworkConfig(cut_through=True, router_threshold_s=1.0)
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), cfg, DeterministicPolicy(), sim)
+    from repro.network.packet import Packet
+
+    router = fabric.routers[0]
+    port = router.port_to("router", 1)
+    p1 = Packet(src=0, dst=3, size_bytes=1024, path=(0, 1))
+    p2 = Packet(src=0, dst=3, size_bytes=1024, path=(0, 1))
+    router.forward(p1, port, 0.0)
+    busy_after_one = port.busy_until
+    router.forward(p2, port, 0.0)
+    assert port.busy_until == pytest.approx(busy_after_one + cfg.packet_tx_time_s)
+
+
+def test_cut_through_delivery_counts_full_packet():
+    """Host-facing hops hand off at the tail, not the header."""
+    cfg = NetworkConfig(cut_through=True, router_threshold_s=1.0)
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), cfg, DeterministicPolicy(), sim)
+    from repro.network.packet import Packet
+
+    router = fabric.routers[3]
+    port = router.port_to("host", 3)
+    p = Packet(src=0, dst=3, size_bytes=1024, path=(3,))
+    handoff = router.forward(p, port, 0.0)
+    assert handoff == pytest.approx(cfg.routing_delay_s + cfg.packet_tx_time_s)
+
+
+def test_cut_through_lossless_under_load():
+    cfg = NetworkConfig(cut_through=True)
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), cfg, DeterministicPolicy(), sim)
+    for _ in range(30):
+        fabric.send(0, 14, 1024)
+        fabric.send(1, 14, 1024)
+    sim.run()
+    assert fabric.accepted_ratio() == 1.0

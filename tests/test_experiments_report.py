@@ -1,0 +1,38 @@
+"""Tests for the reporting helpers."""
+
+from repro.experiments.report import ExperimentResult, format_table
+
+
+def test_format_table_alignment_and_columns():
+    rows = [
+        {"policy": "drb", "latency": 12.5},
+        {"policy": "pr-drb", "latency": 9.1, "extra": "x"},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert "policy" in lines[0] and "latency" in lines[0] and "extra" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "pr-drb" in lines[3]
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_experiment_result_checks_and_render():
+    res = ExperimentResult("F0", "demo", "claim text")
+    res.rows.append({"a": 1})
+    res.check("first", True)
+    assert res.passed
+    res.check("second", False)
+    assert not res.passed
+    text = res.render()
+    assert "F0: demo" in text
+    assert "paper: claim text" in text
+    assert "[ok] first" in text
+    assert "[FAIL] second" in text
+
+
+def test_experiment_result_notes_rendered():
+    res = ExperimentResult("F1", "t", "c", notes="scaled-down run")
+    assert "note: scaled-down run" in res.render()

@@ -1,0 +1,74 @@
+"""Integration tests: every paper artifact regenerates at quick scale.
+
+These exercise the complete stack (topologies, fabric, policies, traffic
+or trace replay, metrics, reporting) per experiment.  The FULL-scale
+equivalents live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.config import QUICK
+from repro.experiments.scenarios import ALL_SCENARIOS
+
+FAST = [
+    "table_2_1",
+    "table_2_2",
+    "fig_2_10_13",
+    "table_4_1",
+    "fig_3_1",
+    "fig_4_8_9",
+    "fig_4_10_11",
+    "fig_4_12",
+    "fig_4_20",
+    "fig_4_21",
+    "fig_4_22_23",
+    "fig_4_24_26",
+    "ablation_notification",
+    "ablation_max_paths",
+]
+
+SLOW = [
+    "fig_4_13_14",
+    "fig_4_15_16",
+    "fig_4_17_18",
+    "fig_4_27_30",
+    "fig_a_1_2",
+    "fig_a_3",
+    "fig_a_4",
+    "ablation_similarity",
+    "ablation_thresholds",
+    "ext_warm_start",
+    "ext_trend",
+    "ext_energy",
+    "ext_saturation",
+    "ext_mapping",
+    "ext_vc",
+    "ext_slimtree",
+]
+
+
+def test_registry_is_complete():
+    assert set(FAST) | set(SLOW) == set(ALL_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_scenarios_pass_quick_scale(name):
+    result = ALL_SCENARIOS[name](QUICK)
+    failed = [n for n, ok in result.checks if not ok]
+    assert not failed, f"{name}: {failed}\n{result.render()}"
+    assert result.rows, "scenario produced no measured rows"
+    assert result.paper_claim
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_scenarios_pass_quick_scale(name):
+    result = ALL_SCENARIOS[name](QUICK)
+    failed = [n for n, ok in result.checks if not ok]
+    assert not failed, f"{name}: {failed}\n{result.render()}"
+
+
+def test_results_render_paper_vs_measured():
+    result = ALL_SCENARIOS["table_4_1"](QUICK)
+    text = result.render()
+    assert "paper:" in text
+    assert "T4.1" in text

@@ -1,0 +1,134 @@
+"""Tests for the metrics subpackage (Eqs 4.1-4.2, maps, recorder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.latency import GlobalAverageLatency, RunningAverage
+from repro.metrics.maps import (
+    fattree_latency_surface,
+    map_mean_nonzero,
+    map_peak,
+    mesh_latency_surface,
+)
+from repro.metrics.recorder import StatsRecorder, TimeSeries
+from repro.metrics.throughput import Throughput
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet
+from repro.routing.deterministic import DeterministicPolicy
+from repro.sim.engine import Simulator
+from repro.topology.fattree import KaryNTree
+from repro.topology.mesh import Mesh2D
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+def test_running_average_matches_numpy_mean(samples):
+    avg = RunningAverage()
+    for s in samples:
+        avg.add(s)
+    assert avg.mean == pytest.approx(np.mean(samples), rel=1e-9, abs=1e-12)
+    assert avg.count == len(samples)
+
+
+def test_global_average_is_mean_of_destination_means():
+    g = GlobalAverageLatency()
+    g.add(0, 2.0)
+    g.add(0, 4.0)  # node 0 mean = 3
+    g.add(1, 10.0)  # node 1 mean = 10
+    assert g.value_s == pytest.approx(6.5)
+    assert g.destinations == 2
+    assert g.samples == 3
+    assert g.per_destination() == {0: 3.0, 1: 10.0}
+
+
+def test_global_average_empty():
+    assert GlobalAverageLatency().value_s == 0.0
+
+
+def test_time_series_windows():
+    ts = TimeSeries(window_s=1.0)
+    ts.add(0.1, 10.0)
+    ts.add(0.9, 20.0)
+    ts.add(1.5, 30.0)
+    ts.add(3.2, 50.0)
+    times, values = ts.finalize()
+    assert list(times) == [0.0, 1.0, 3.0]
+    assert list(values) == [15.0, 30.0, 50.0]
+
+
+def test_time_series_finalize_flushes_tail():
+    ts = TimeSeries(window_s=1.0)
+    ts.add(0.5, 4.0)
+    times, values = ts.finalize()
+    assert list(values) == [4.0]
+
+
+def test_throughput_ratios():
+    tp = Throughput(
+        injected_packets=100, delivered_packets=100,
+        delivered_bytes=100 * 1024, interval_s=1e-3,
+    )
+    assert tp.accepted_ratio == 1.0
+    assert tp.bits_per_second == pytest.approx(100 * 8192 / 1e-3)
+    empty = Throughput(0, 0, 0, 0.0)
+    assert empty.accepted_ratio == 1.0
+    assert empty.bits_per_second == 0.0
+
+
+def _run_with_recorder(topology, recorder):
+    sim = Simulator()
+    fabric = Fabric(topology, NetworkConfig(), DeterministicPolicy(), sim, recorder=recorder)
+    for _ in range(10):
+        fabric.send(0, topology.num_hosts - 1, 1024)
+        fabric.send(3, 11, 1024)
+    sim.run()
+    return fabric
+
+
+def test_recorder_collects_latency_and_counts():
+    rec = StatsRecorder(window_s=1e-5)
+    fabric = _run_with_recorder(Mesh2D(4), rec)
+    assert rec.packets_injected == 20
+    assert rec.packets_delivered == 20
+    assert rec.mean_latency_s > 0
+    assert rec.global_average_latency_s > 0
+    summary = rec.summary()
+    assert summary["packets_delivered"] == 20
+    assert summary["p99_latency_s"] >= summary["mean_latency_s"] * 0.5
+
+
+def test_recorder_router_series_opt_in():
+    rec = StatsRecorder(window_s=1e-5, track_router_series=True)
+    _run_with_recorder(Mesh2D(4), rec)
+    assert rec.router_series  # at least some router saw packets
+    rid, series = next(iter(rec.router_series.items()))
+    times, values = series.finalize()
+    assert len(times) == len(values) > 0
+
+
+def test_mesh_latency_surface_layout():
+    topo = Mesh2D(4)
+    rec = StatsRecorder()
+    fabric = _run_with_recorder(topo, rec)
+    surface = mesh_latency_surface(fabric, topo)
+    assert surface.shape == (4, 4)
+    assert map_peak(surface) >= 0
+    if (surface > 0).any():
+        assert map_mean_nonzero(surface) > 0
+
+
+def test_fattree_latency_surface_layout():
+    topo = KaryNTree(2, 3)
+    sim = Simulator()
+    fabric = Fabric(topo, NetworkConfig(), DeterministicPolicy(), sim)
+    for _ in range(10):
+        fabric.send(0, 7, 1024)
+    sim.run()
+    surface = fattree_latency_surface(fabric, topo)
+    assert surface.shape == (3, 4)
+
+
+def test_map_peak_empty():
+    assert map_peak(np.zeros((0, 0))) == 0.0
+    assert map_mean_nonzero(np.zeros((3, 3))) == 0.0

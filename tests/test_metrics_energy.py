@@ -1,0 +1,73 @@
+"""Tests for the energy-accounting substrate (§5.2 energy-aware routing)."""
+
+import pytest
+
+from repro.metrics.energy import EnergyModel, EnergyReport, measure_energy
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.deterministic import DeterministicPolicy
+from repro.routing.drb import DRBPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def run_traffic(policy, sends=50):
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), policy, sim)
+    for _ in range(sends):
+        fabric.send(0, 15, 1024)
+        fabric.send(3, 11, 1024)
+    sim.run()
+    return fabric, sim.now
+
+
+def test_static_energy_scales_with_duration_and_routers():
+    fabric, _ = run_traffic(DeterministicPolicy(), sends=1)
+    model = EnergyModel(idle_power_w=2.0)
+    report = measure_energy(fabric, duration_s=1e-3, model=model)
+    assert report.static_j == pytest.approx(2.0 * 1e-3 * 16)
+
+
+def test_dynamic_energy_counts_forwarded_bits():
+    fabric, t = run_traffic(DeterministicPolicy(), sends=10)
+    report = measure_energy(fabric, duration_s=t)
+    # 20 packets x 1024 B, each crossing several routers.
+    assert report.bits_forwarded >= 20 * 1024 * 8
+    assert report.dynamic_j > 0
+    assert report.packets_forwarded >= 20
+
+
+def test_zero_traffic_zero_dynamic():
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), DeterministicPolicy(), sim)
+    report = measure_energy(fabric, duration_s=1e-3)
+    assert report.dynamic_j == 0.0
+    assert report.joules_per_bit() == 0.0
+    assert report.active_routers == 0
+
+
+def test_negative_duration_rejected():
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), DeterministicPolicy(), sim)
+    with pytest.raises(ValueError):
+        measure_energy(fabric, duration_s=-1.0)
+
+
+def test_drb_ack_overhead_shows_in_energy():
+    """DRB's ACKs are real packets: its dynamic energy must exceed the
+    deterministic baseline's for identical data traffic."""
+    det_fabric, det_t = run_traffic(DeterministicPolicy())
+    drb_fabric, drb_t = run_traffic(DRBPolicy())
+    det = measure_energy(det_fabric, det_t)
+    drb = measure_energy(drb_fabric, drb_t)
+    assert drb.packets_forwarded > det.packets_forwarded
+    assert drb.dynamic_j > det.dynamic_j
+
+
+def test_report_row_shape():
+    fabric, t = run_traffic(DeterministicPolicy(), sends=5)
+    row = measure_energy(fabric, t).row()
+    assert set(row) == {"total_mj", "static_mj", "dynamic_uj", "j_per_gbit"}
+    report = measure_energy(fabric, t)
+    assert 0.0 <= report.dynamic_fraction <= 1.0
+    assert report.total_j == pytest.approx(report.static_j + report.dynamic_j)

@@ -1,0 +1,87 @@
+"""Tests for link-utilization analysis."""
+
+import pytest
+
+from repro.metrics.utilization import measure_utilization
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing import make_policy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def run(policy_name="deterministic", sends=20):
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), make_policy(policy_name), sim)
+    for _ in range(sends):
+        fabric.send(0, 3, 1024)
+    sim.run()
+    return fabric, sim.now
+
+
+def test_only_used_links_listed():
+    fabric, t = run()
+    report = measure_utilization(fabric, t)
+    # DOR path 0->1->2->3 plus the delivery link: 4 links.
+    assert len(report.links) == 4
+    labels = {l.label() for l in report.links}
+    assert "0->r1" in labels and "3->h3" in labels
+
+
+def test_utilization_values():
+    fabric, t = run(sends=20)
+    report = measure_utilization(fabric, t)
+    for link in report.links:
+        assert link.bytes == 20 * 1024
+        assert link.packets == 20
+        assert 0 < link.utilization <= 1.0
+    # 20 back-to-back packets fill the path for most of the run.
+    assert report.max_utilization > 0.5
+
+
+def test_imbalance_zero_for_uniform_single_path():
+    fabric, t = run()
+    report = measure_utilization(fabric, t)
+    assert report.imbalance() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_drb_reduces_imbalance_under_hotspot():
+    """Alternative paths spread the column load over more links."""
+    results = {}
+    for name in ("deterministic", "drb"):
+        sim = Simulator()
+        fabric = Fabric(Mesh2D(8), NetworkConfig(), make_policy(name), sim)
+        for _ in range(120):
+            fabric.send(0, 37, 1024)
+            fabric.send(8, 45, 1024)
+            fabric.send(16, 53, 1024)
+            fabric.send(24, 61, 1024)
+        sim.run()
+        results[name] = measure_utilization(fabric, sim.now)
+    assert len(results["drb"].links) > len(results["deterministic"].links)
+    assert results["drb"].max_utilization <= results["deterministic"].max_utilization
+
+
+def test_hottest_sorting_and_row():
+    fabric, t = run()
+    report = measure_utilization(fabric, t)
+    hottest = report.hottest(2)
+    assert len(hottest) == 2
+    assert hottest[0].utilization >= hottest[1].utilization
+    row = report.row()
+    assert row["links_used"] == 4
+
+
+def test_rejects_nonpositive_duration():
+    fabric, _ = run(sends=1)
+    with pytest.raises(ValueError):
+        measure_utilization(fabric, 0.0)
+
+
+def test_empty_fabric_report():
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), make_policy("deterministic"), sim)
+    report = measure_utilization(fabric, 1e-3)
+    assert report.links == []
+    assert report.max_utilization == 0.0
+    assert report.imbalance() == 0.0

@@ -1,0 +1,108 @@
+"""Tests for collective lowering."""
+
+import pytest
+
+from repro.mpi.collectives import (
+    BARRIER_TOKEN_BYTES,
+    COLLECTIVE_TAG_BASE,
+    lower_collectives,
+    lower_rank_collective,
+)
+from repro.mpi.events import Allreduce, Barrier, Bcast, Recv, Reduce, Send
+from repro.mpi.trace import Trace
+
+
+def sends(events):
+    return [e for e in events if isinstance(e, Send)]
+
+
+def recvs(events):
+    return [e for e in events if isinstance(e, Recv)]
+
+
+def simulate_matching(per_rank_events, n):
+    """Check that lowered sends and recvs pair up exactly across ranks."""
+    sent = {}
+    for rank, events in per_rank_events.items():
+        for e in sends(events):
+            key = (rank, e.dst, e.tag)
+            sent[key] = sent.get(key, 0) + 1
+    for rank, events in per_rank_events.items():
+        for e in recvs(events):
+            key = (e.src, rank, e.tag)
+            assert sent.get(key, 0) > 0, f"unmatched recv {key}"
+            sent[key] -= 1
+    assert all(v == 0 for v in sent.values()), "unmatched sends remain"
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_allreduce_recursive_doubling_pow2(n):
+    events = {r: lower_rank_collective(Allreduce(1024), r, n, 0) for r in range(n)}
+    simulate_matching(events, n)
+    rounds = (n - 1).bit_length()
+    for r in range(n):
+        assert len(sends(events[r])) == rounds
+        assert len(recvs(events[r])) == rounds
+
+
+@pytest.mark.parametrize("n", [3, 5, 6, 7, 12])
+def test_allreduce_non_pow2(n):
+    events = {r: lower_rank_collective(Allreduce(512), r, n, 0) for r in range(n)}
+    simulate_matching(events, n)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 9])
+def test_barrier_dissemination(n):
+    events = {r: lower_rank_collective(Barrier(), r, n, 0) for r in range(n)}
+    simulate_matching(events, n)
+    for r in range(n):
+        for e in sends(events[r]):
+            assert e.size_bytes == BARRIER_TOKEN_BYTES
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 8, 13])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_binomial_tree(n, root):
+    root = root % n
+    events = {r: lower_rank_collective(Bcast(2048, root), r, n, 0) for r in range(n)}
+    simulate_matching(events, n)
+    # Every non-root rank receives exactly once; root receives nothing.
+    for r in range(n):
+        expected = 0 if r == root else 1
+        assert len(recvs(events[r])) == expected
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 8, 13])
+def test_reduce_mirror_of_bcast(n):
+    events = {r: lower_rank_collective(Reduce(2048, 0), r, n, 0) for r in range(n)}
+    simulate_matching(events, n)
+    for r in range(1, n):
+        assert len(sends(events[r])) == 1
+    assert len(sends(events[0])) == 0
+
+
+def test_instances_get_distinct_tags():
+    a = lower_rank_collective(Allreduce(64), 0, 4, instance=0)
+    b = lower_rank_collective(Allreduce(64), 0, 4, instance=1)
+    tags_a = {e.tag for e in a}
+    tags_b = {e.tag for e in b}
+    assert tags_a.isdisjoint(tags_b)
+    assert all(t >= COLLECTIVE_TAG_BASE for t in tags_a | tags_b)
+
+
+def test_lower_collectives_trace():
+    trace = Trace("t", 4)
+    for r in range(4):
+        trace.append(r, Allreduce(128))
+        trace.append(r, Barrier())
+    lowered = lower_collectives(trace)
+    for r in range(4):
+        assert all(isinstance(e, (Send, Recv)) for e in lowered.events[r])
+    assert lowered.metadata["collectives_lowered"]
+
+
+def test_lower_collectives_rejects_non_spmd():
+    trace = Trace("bad", 2)
+    trace.append(0, Allreduce(128))  # rank 1 skips the collective
+    with pytest.raises(ValueError):
+        lower_collectives(trace)

@@ -1,0 +1,110 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.apps.pop import pop_trace
+from repro.mpi.events import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    Waitall,
+)
+from repro.mpi.trace import Trace
+from repro.mpi.traceio import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def full_vocabulary_trace():
+    trace = Trace("vocab", 2, metadata={"origin": "test"})
+    trace.extend(
+        0,
+        [
+            Compute(1e-5),
+            Send(1, 1024, tag=3),
+            Isend(1, 2048, tag=4, request=1),
+            Wait(request=1),
+            Allreduce(64),
+            Reduce(128, root=1),
+            Bcast(256, root=0),
+            Barrier(),
+        ],
+    )
+    trace.extend(
+        1,
+        [
+            Recv(0, tag=3),
+            Irecv(0, tag=4, request=2),
+            Waitall(),
+            Allreduce(64),
+            Reduce(128, root=1),
+            Bcast(256, root=0),
+            Barrier(),
+        ],
+    )
+    return trace
+
+
+def test_roundtrip_preserves_everything():
+    trace = full_vocabulary_trace()
+    again = trace_from_dict(trace_to_dict(trace))
+    assert again.name == trace.name
+    assert again.num_ranks == trace.num_ranks
+    assert again.metadata == trace.metadata
+    for rank in trace.ranks():
+        assert again.events[rank] == trace.events[rank]
+
+
+def test_roundtrip_synthesized_app_trace():
+    trace = pop_trace(num_ranks=8, steps=1)
+    again = trace_from_dict(trace_to_dict(trace))
+    assert again.total_events == trace.total_events
+    assert again.events[3] == trace.events[3]
+
+
+def test_save_load_file(tmp_path):
+    trace = full_vocabulary_trace()
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    again = load_trace(path)
+    assert again.events[0] == trace.events[0]
+
+
+def test_save_load_stream():
+    trace = full_vocabulary_trace()
+    buf = io.StringIO()
+    save_trace(trace, buf)
+    buf.seek(0)
+    again = load_trace(buf)
+    assert again.events[1] == trace.events[1]
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError):
+        trace_from_dict({"name": "x", "num_ranks": 1, "events": {"0": [["warp", 9]]}})
+
+
+def test_loaded_trace_replays():
+    from repro.mpi.runtime import TraceRuntime
+    from repro.network.config import NetworkConfig
+    from repro.network.fabric import Fabric
+    from repro.routing.deterministic import DeterministicPolicy
+    from repro.sim.engine import Simulator
+    from repro.topology.mesh import Mesh2D
+
+    trace = trace_from_dict(trace_to_dict(pop_trace(num_ranks=8, steps=1)))
+    fabric = Fabric(Mesh2D(3), NetworkConfig(), DeterministicPolicy(), Simulator())
+    rt = TraceRuntime(fabric, trace)
+    assert rt.run() > 0

@@ -1,0 +1,73 @@
+"""Tests for the processing-node endpoint (§4.1.1)."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.nic import ProcessingNode
+from repro.network.packet import ACK, DATA, Packet
+
+
+def make_node(host=0):
+    return ProcessingNode(host, NetworkConfig()), NetworkConfig()
+
+
+def pkt(src=1, dst=0, size=1024, seq=-1, final=True, fragments=1, kind=DATA):
+    return Packet(
+        src=src, dst=dst, size_bytes=size, kind=kind,
+        mpi_seq=seq, final=final, fragments=fragments,
+    )
+
+
+def test_serialize_occupies_injection_link():
+    node, cfg = make_node()
+    t1 = node.serialize(pkt(), 0.0)
+    assert t1 == pytest.approx(cfg.packet_tx_time_s)
+    t2 = node.serialize(pkt(), 0.0)
+    assert t2 == pytest.approx(2 * cfg.packet_tx_time_s)
+    assert node.packets_injected == 2
+    assert node.bytes_injected == 2048
+
+
+def test_serialize_idle_gap_resets_clock():
+    node, cfg = make_node()
+    node.serialize(pkt(), 0.0)
+    t = node.serialize(pkt(), 1.0)
+    assert t == pytest.approx(1.0 + cfg.packet_tx_time_s)
+
+
+def test_receive_counts_only_data():
+    node, _ = make_node()
+    node.receive(pkt(), 1.0)
+    node.receive(pkt(kind=ACK), 1.0)
+    assert node.packets_received == 1
+
+
+def test_raw_traffic_delivers_per_packet():
+    node, _ = make_node()
+    seen = []
+    node.message_handler = lambda src, mt, seq, size, now: seen.append((src, size))
+    node.receive(pkt(src=3, seq=-1), 1.0)
+    assert seen == [(3, 1024)]
+
+
+def test_message_reassembly():
+    node, _ = make_node()
+    seen = []
+    node.message_handler = lambda src, mt, seq, size, now: seen.append((src, seq, size))
+    node.receive(pkt(src=2, seq=7, final=False, fragments=3), 1.0)
+    assert not seen and node.pending_messages == 1
+    node.receive(pkt(src=2, seq=7, final=False, fragments=3), 1.1)
+    node.receive(pkt(src=2, seq=7, final=True, fragments=3), 1.2)
+    assert seen == [(2, 7, 3072)]
+    assert node.pending_messages == 0
+
+
+def test_interleaved_messages_reassemble_independently():
+    node, _ = make_node()
+    seen = []
+    node.message_handler = lambda src, mt, seq, size, now: seen.append((src, seq))
+    node.receive(pkt(src=1, seq=1, final=False, fragments=2), 1.0)
+    node.receive(pkt(src=2, seq=1, final=False, fragments=2), 1.0)
+    node.receive(pkt(src=2, seq=1, final=True, fragments=2), 1.1)
+    node.receive(pkt(src=1, seq=1, final=True, fragments=2), 1.2)
+    assert seen == [(2, 1), (1, 1)]

@@ -1,0 +1,92 @@
+"""Tests for packet formats (§3.3.1)."""
+
+from repro.network.packet import (
+    ACK,
+    DATA,
+    PREDICTIVE_ACK,
+    ContendingFlow,
+    Packet,
+    make_ack,
+    make_predictive_ack,
+)
+
+
+def data_packet(**kw):
+    defaults = dict(src=1, dst=5, size_bytes=1024, kind=DATA, path=(0, 1, 2), created_at=1.0)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_pids_are_unique():
+    a, b = data_packet(), data_packet()
+    assert a.pid != b.pid
+
+
+def test_size_bits():
+    assert data_packet(size_bytes=1024).size_bits == 8192
+
+
+def test_hop_tracking():
+    p = data_packet()
+    assert p.current_router == 0
+    assert not p.at_last_router
+    p.hop = 2
+    assert p.current_router == 2
+    assert p.at_last_router
+
+
+def test_flow_pair():
+    assert data_packet().flow() == ContendingFlow(1, 5)
+
+
+def test_make_ack_reverses_and_reports():
+    p = data_packet()
+    p.path_latency = 7e-6
+    p.msp_index = 2
+    p.contending = [ContendingFlow(1, 5), ContendingFlow(3, 4)]
+    p.reporting_router = 1
+    ack = make_ack(p, reverse_path=(2, 1, 0), size_bytes=64, now=2.0)
+    assert ack.kind == ACK
+    assert ack.src == 5 and ack.dst == 1
+    assert ack.path == (2, 1, 0)
+    assert ack.path_latency == 7e-6
+    assert ack.acked_msp_index == 2
+    assert ack.acked_created_at == 1.0
+    assert ack.contending == p.contending
+    assert ack.reporting_router == 1
+
+
+def test_make_ack_respects_predictive_bit():
+    p = data_packet()
+    p.contending = [ContendingFlow(1, 5)]
+    p.predictive_bit = True  # a router already notified the source
+    ack = make_ack(p, reverse_path=(2, 1, 0), size_bytes=64, now=2.0)
+    assert ack.contending == []
+    assert ack.reporting_router == -1
+
+
+def test_make_ack_can_skip_contending():
+    p = data_packet()
+    p.contending = [ContendingFlow(1, 5)]
+    ack = make_ack(p, (2, 1, 0), 64, 2.0, carry_contending=False)
+    assert ack.contending == []
+
+
+def test_make_predictive_ack():
+    flows = [ContendingFlow(1, 5), ContendingFlow(2, 7)]
+    pack = make_predictive_ack(
+        router=9, target_src=1, path=(9, 4, 0), contending=flows,
+        queue_latency=3e-6, size_bytes=64, now=1.5,
+    )
+    assert pack.kind == PREDICTIVE_ACK
+    assert pack.dst == 1
+    assert pack.reporting_router == 9
+    assert pack.contending == flows
+    assert pack.path_latency == 3e-6
+    assert pack.kind_name() == "PACK"
+
+
+def test_mpi_fields_default_raw():
+    p = data_packet()
+    assert p.mpi_type == -1 and p.mpi_seq == -1
+    assert p.final and p.fragments == 1

@@ -1,0 +1,161 @@
+"""Tests for the router forwarding pipeline (§3.3.2)."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.packet import ACK, DATA, ContendingFlow, Packet
+from repro.network.router import CFD_COOLDOWN_S, Router
+
+
+def make_router(threshold=4e-6, handler=None):
+    cfg = NetworkConfig(router_threshold_s=threshold)
+    return Router(0, cfg, congestion_handler=handler), cfg
+
+
+def pkt(src=1, dst=5, size=1024, kind=DATA):
+    return Packet(src=src, dst=dst, size_bytes=size, kind=kind, path=(0, 1))
+
+
+def test_idle_port_forwards_without_wait():
+    router, cfg = make_router()
+    port = router.port_to("router", 1)
+    p = pkt()
+    depart = router.forward(p, port, now=0.0)
+    assert p.path_latency == 0.0
+    assert depart == pytest.approx(cfg.routing_delay_s + cfg.packet_tx_time_s)
+    assert port.busy_until == depart
+
+
+def test_busy_port_accumulates_contention():
+    router, cfg = make_router(threshold=1.0)  # CFD disabled
+    port = router.port_to("router", 1)
+    p1, p2 = pkt(), pkt(src=2)
+    d1 = router.forward(p1, port, now=0.0)
+    router.forward(p2, port, now=0.0)
+    expected_wait = d1 - cfg.routing_delay_s
+    assert p2.path_latency == pytest.approx(expected_wait)
+    assert router.total_wait_s == pytest.approx(expected_wait)
+    assert router.packets_forwarded == 2
+
+
+def test_mean_contention_latency():
+    router, _ = make_router(threshold=1.0)
+    port = router.port_to("router", 1)
+    for i in range(4):
+        router.forward(pkt(src=i), port, now=0.0)
+    assert router.mean_contention_latency_s == pytest.approx(router.total_wait_s / 4)
+
+
+def test_cfd_records_contending_flows_destination_based():
+    router, cfg = make_router(threshold=1e-9)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1, dst=5), port, now=0.0)
+    victim = pkt(src=2, dst=7)
+    router.forward(victim, port, now=0.0)
+    assert victim.reporting_router == 0
+    flows = set(victim.contending)
+    assert ContendingFlow(1, 5) in flows
+    assert ContendingFlow(2, 7) in flows
+    assert not victim.predictive_bit
+
+
+def test_cfd_cooldown_suppresses_repeat_reports():
+    router, _ = make_router(threshold=1e-9)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    first = pkt(src=2)
+    router.forward(first, port, now=0.0)
+    second = pkt(src=3)
+    router.forward(second, port, now=0.0)
+    assert first.contending and not second.contending
+    # After the cooldown, reporting resumes.
+    later = pkt(src=4)
+    t = CFD_COOLDOWN_S + 1e-6
+    router.forward(pkt(src=1), port, now=t)
+    router.forward(later, port, now=t)
+    assert later.contending
+
+
+def test_cfd_skips_ack_packets():
+    router, _ = make_router(threshold=1e-9)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    ack = pkt(src=2, kind=ACK)
+    router.forward(ack, port, now=0.0)
+    assert not ack.contending
+
+
+def test_router_based_handler_sets_predictive_bit():
+    calls = []
+
+    def handler(router, port, packet, wait, flows, now):
+        calls.append((packet.src, tuple(flows)))
+        return True
+
+    router, _ = make_router(threshold=1e-9, handler=handler)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    victim = pkt(src=2)
+    router.forward(victim, port, now=0.0)
+    assert calls and calls[0][0] == 2
+    assert victim.predictive_bit
+    assert not victim.contending  # handler took over notification
+
+
+def test_handler_returning_false_falls_back_to_destination():
+    router, _ = make_router(threshold=1e-9, handler=lambda *a: False)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    victim = pkt(src=2)
+    router.forward(victim, port, now=0.0)
+    assert victim.contending and not victim.predictive_bit
+
+
+def test_contending_flows_ranked_by_bytes_and_capped():
+    router, cfg = make_router(threshold=1.0)
+    cfg.max_contending_flows = 2
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1, dst=5, size=4096), port, now=0.0)
+    router.forward(pkt(src=2, dst=7, size=1024), port, now=0.0)
+    router.forward(pkt(src=3, dst=8, size=2048), port, now=0.0)
+    flows = router._contending_flows(port, pkt(src=9, dst=9, size=16))
+    assert len(flows) == 2
+    assert flows[0] == ContendingFlow(1, 5)
+    assert flows[1] == ContendingFlow(3, 8)
+
+
+def test_queue_purge_frees_occupancy():
+    router, cfg = make_router(threshold=1.0)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    assert port.occupancy_bytes == 1024
+    # Far in the future the queue has drained.
+    router.forward(pkt(src=2), port, now=1.0)
+    assert port.occupancy_bytes == 1024  # only the new packet remains
+
+
+def test_buffer_overflow_counter():
+    cfg = NetworkConfig(buffer_size_bytes=1024, router_threshold_s=1.0)
+    router = Router(0, cfg)
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    router.forward(pkt(src=2), port, now=0.0)
+    assert port.overflows == 1
+
+
+def test_wait_observer_called():
+    seen = []
+    router, _ = make_router(threshold=1.0)
+    router.wait_observer = lambda rid, now, wait: seen.append((rid, now, wait))
+    port = router.port_to("router", 1)
+    router.forward(pkt(src=1), port, now=0.0)
+    router.forward(pkt(src=2), port, now=0.0)
+    assert len(seen) == 2
+    assert seen[0][2] == 0.0
+    assert seen[1][2] > 0.0
+
+
+def test_port_cache_reuse():
+    router, _ = make_router()
+    assert router.port_to("router", 1) is router.port_to("router", 1)
+    assert router.port_to("host", 1) is not router.port_to("router", 1)

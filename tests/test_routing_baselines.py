@@ -1,0 +1,82 @@
+"""Tests for deterministic / oblivious / adaptive baselines."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.adaptive import SourceAdaptivePolicy
+from repro.routing.deterministic import DeterministicPolicy, host_path
+from repro.routing.oblivious import CyclicPolicy, RandomPolicy
+from repro.sim.engine import Simulator
+from repro.topology.fattree import KaryNTree
+from repro.topology.mesh import Mesh2D
+
+
+def attach(policy, topo=None):
+    topo = topo or Mesh2D(4)
+    fabric = Fabric(topo, NetworkConfig(), policy, Simulator())
+    return policy, fabric, topo
+
+
+def test_host_path_uses_fattree_specialization():
+    tree = KaryNTree(4, 2)
+    p = host_path(tree, 0, 15)
+    assert p == tree.host_minimal_route(0, 15)
+
+
+def test_deterministic_always_same_path():
+    policy, _, topo = attach(DeterministicPolicy())
+    p1, i1 = policy.select_path(0, 15, 1024, 0.0)
+    p2, i2 = policy.select_path(0, 15, 1024, 1.0)
+    assert p1 == p2 == topo.minimal_route(0, 15)
+    assert i1 == i2 == 0
+
+
+def test_random_covers_multiple_paths():
+    policy, _, topo = attach(RandomPolicy(max_paths=4, seed=0))
+    seen = {policy.select_path(0, 15, 1024, 0.0)[0] for _ in range(100)}
+    assert len(seen) > 1
+    for p in seen:
+        assert topo.validate_path(p)
+        assert p[0] == 0 and p[-1] == 15
+
+
+def test_cyclic_rotates_round_robin():
+    policy, _, _ = attach(CyclicPolicy(max_paths=4))
+    indices = [policy.select_path(0, 15, 1024, 0.0)[1] for _ in range(8)]
+    period = len(set(indices))
+    assert indices[:period] == sorted(set(indices))
+    assert indices[period : 2 * period] == indices[:period]
+
+
+def test_cyclic_independent_per_pair():
+    policy, _, _ = attach(CyclicPolicy(max_paths=4))
+    policy.select_path(0, 15, 1024, 0.0)
+    _, idx = policy.select_path(1, 14, 1024, 0.0)
+    assert idx == 0  # fresh rotation for the new pair
+
+
+def test_adaptive_prefers_unloaded_path():
+    policy, fabric, topo = attach(SourceAdaptivePolicy(max_paths=4))
+    base, _ = policy.select_path(0, 15, 1024, 0.0)
+    # Load the first candidate's second router port heavily.
+    r0, r1 = base[0], base[1]
+    port = fabric.routers[r0].port_to("router", r1)
+    port.busy_until = 1.0
+    chosen, idx = policy.select_path(0, 15, 1024, 0.0)
+    assert chosen != base or idx != 0
+    # With no load it reverts to a minimal (shortest) candidate.
+    port.busy_until = 0.0
+    chosen2, _ = policy.select_path(0, 15, 1024, 0.0)
+    assert len(chosen2) == len(topo.minimal_route(0, 15))
+
+
+def test_baselines_do_not_want_acks():
+    for policy in (DeterministicPolicy(), RandomPolicy(), CyclicPolicy(), SourceAdaptivePolicy()):
+        assert not policy.wants_acks
+
+
+def test_policy_requires_attachment():
+    policy = DeterministicPolicy()
+    with pytest.raises(RuntimeError):
+        policy.select_path(0, 1, 1024, 0.0)

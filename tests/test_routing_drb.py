@@ -1,0 +1,166 @@
+"""Tests for the DRB adaptive policy (zone FSM, gradual path opening)."""
+
+import pytest
+
+from repro.core.thresholds import Zone
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import ACK, Packet
+from repro.routing.drb import DRBConfig, DRBPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def make(config=None, drb=None):
+    policy = DRBPolicy(drb or DRBConfig(reconfig_cooldown_s=0.0))
+    fabric = Fabric(Mesh2D(4), config or NetworkConfig(), policy, Simulator())
+    return policy, fabric
+
+
+def ack_for(policy, src, dst, msp_index, queueing, now=0.0):
+    fs = policy.flow_state(src, dst)
+    path = fs.metapath.path_for(msp_index)
+    ack = Packet(
+        src=dst, dst=src, size_bytes=64, kind=ACK,
+        path=tuple(reversed(path)), acked_msp_index=msp_index,
+    )
+    ack.path_latency = queueing
+    policy.on_ack(ack, now)
+    return fs
+
+
+def test_select_path_returns_valid_route():
+    policy, fabric = make()
+    path, idx = policy.select_path(0, 15, 1024, 0.0)
+    assert idx == 0
+    assert path[0] == 0 and path[-1] == 15
+    assert fabric.topology.validate_path(path)
+
+
+def test_low_latency_acks_keep_single_path():
+    policy, _ = make()
+    fs = ack_for(policy, 0, 15, 0, queueing=0.0)
+    assert fs.metapath.active_count == 1
+    assert policy.expansions == 0
+
+
+def test_congestion_opens_one_path():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big)
+    assert fs.zone is Zone.HIGH
+    assert fs.metapath.active_count == 2
+    assert policy.expansions == 1
+
+
+def test_gradual_opening_one_at_a_time():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    fs.offered_bps = 2e9  # flow is actively loading the network
+    big = fs.thresholds.high_s * 10
+    ack_for(policy, 0, 15, 0, queueing=big, now=0.0)
+    assert fs.metapath.active_count == 2
+    # Sustained saturation widens further, but only after the freshly
+    # opened path's effect was evaluated via an ACK ("open one path at a
+    # time and evaluate the effect").
+    ack_for(policy, 0, 15, 0, queueing=big, now=1e-4)
+    assert fs.metapath.active_count == 2  # path 1 not yet evaluated
+    ack_for(policy, 0, 15, 1, queueing=big, now=2e-4)
+    assert fs.metapath.active_count == 3
+    ack_for(policy, 0, 15, 2, queueing=big, now=3e-4)
+    assert fs.metapath.active_count == 4
+
+
+def test_sustained_high_without_demand_does_not_expand():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    assert fs.offered_bps == 0.0  # idle flow: stale EMA must not open paths
+    big = fs.thresholds.high_s * 10
+    ack_for(policy, 0, 15, 0, queueing=big, now=0.0)  # entry still expands
+    assert fs.metapath.active_count == 2
+    ack_for(policy, 0, 15, 1, queueing=big, now=1e-4)
+    ack_for(policy, 0, 15, 0, queueing=big, now=2e-4)
+    assert fs.metapath.active_count == 2  # no sustained expansion
+
+
+def test_recovery_closes_paths():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=0.0)
+    assert fs.metapath.active_count == 2
+    # Sustained zero-queueing ACKs decay the EMA until the aggregate
+    # falls under Threshold_Low and the extra path closes.
+    t = 1e-4
+    for _ in range(20):
+        ack_for(policy, 0, 15, 0, queueing=0.0, now=t)
+        ack_for(policy, 0, 15, 1, queueing=0.0, now=t + 1e-5)
+        t += 1e-4
+        if fs.metapath.active_count == 1:
+            break
+    assert fs.metapath.active_count == 1
+    assert policy.shrinks >= 1
+
+
+def test_reconfig_cooldown_blocks_rapid_changes():
+    policy, _ = make(drb=DRBConfig(reconfig_cooldown_s=1.0))
+    fs = policy.flow_state(0, 15)
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=0.0)
+    assert fs.metapath.active_count == 2
+    ack_for(policy, 0, 15, 0, queueing=0.0, now=0.1)
+    ack_for(policy, 0, 15, 1, queueing=0.0, now=0.2)
+    # Zone moved to LOW but the cooldown suppressed the shrink.
+    assert fs.metapath.active_count == 2
+
+
+def test_outstanding_counters():
+    policy, _ = make()
+    policy.select_path(0, 15, 1024, 0.0)
+    policy.select_path(0, 15, 1024, 0.1)
+    fs = policy.flow_state(0, 15)
+    assert fs.outstanding == 2
+    ack_for(policy, 0, 15, 0, 0.0, now=0.2)
+    assert fs.outstanding == 1
+    assert fs.last_ack_time == 0.2
+
+
+def test_signature_window_prunes_old_flows():
+    policy, _ = make(drb=DRBConfig(signature_window_s=1e-4, reconfig_cooldown_s=0.0))
+    fs = policy.flow_state(0, 15)
+    from repro.network.packet import ContendingFlow
+
+    policy._merge_contending(fs, [ContendingFlow(1, 2)], now=0.0)
+    policy._merge_contending(fs, [ContendingFlow(3, 4)], now=5e-4)
+    sig = policy.current_signature(fs, now=5e-4)
+    assert ContendingFlow(3, 4) in sig
+    assert ContendingFlow(1, 2) not in sig
+
+
+def test_stats_shape():
+    policy, _ = make()
+    policy.select_path(0, 15, 1024, 0.0)
+    stats = policy.stats()
+    assert stats["policy"] == "drb"
+    assert stats["flows"] == 1
+    assert stats["mean_active_paths"] == 1.0
+
+
+def test_end_to_end_congestion_triggers_expansion():
+    """Full-fabric check: colliding flows make DRB open paths."""
+    policy = DRBPolicy(DRBConfig(reconfig_cooldown_s=1e-5))
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), policy, sim)
+
+    def burst(i=0):
+        if i >= 150:
+            return
+        fabric.send(0, 15, 1024)
+        fabric.send(3, 11, 1024)
+        sim.schedule(2e-6, burst, i + 1)  # 2x the drain rate -> congestion
+
+    burst()
+    sim.run()
+    assert policy.expansions > 0
+    assert fabric.accepted_ratio() == 1.0

@@ -1,0 +1,101 @@
+"""Tests for FR-DRB (watchdog) and its predictive variant (§4.8.4)."""
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import ACK, ContendingFlow, Packet, PREDICTIVE_ACK
+from repro.routing.frdrb import FRDRBConfig, FRDRBPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def make(predictive=False, **cfg_kwargs):
+    cfg_kwargs.setdefault("reconfig_cooldown_s", 0.0)
+    cfg_kwargs.setdefault("watchdog_timeout_s", 1e-4)
+    policy = FRDRBPolicy(FRDRBConfig(**cfg_kwargs), predictive=predictive)
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), policy, Simulator())
+    return policy, fabric
+
+
+def test_names_distinguish_variants():
+    assert make(False)[0].name == "fr-drb"
+    assert make(True)[0].name == "pr-fr-drb"
+
+
+def test_watchdog_fires_without_acks():
+    policy, _ = make()
+    policy.select_path(0, 15, 1024, 0.0)
+    fs = policy.flow_state(0, 15)
+    assert fs.metapath.active_count == 1
+    # Next injection long after the timeout: watchdog assumes congestion.
+    policy.select_path(0, 15, 1024, 5e-4)
+    assert policy.watchdog_fires == 1
+    assert fs.metapath.active_count == 2
+
+
+def test_watchdog_quiet_when_acks_flow():
+    policy, _ = make()
+    policy.select_path(0, 15, 1024, 0.0)
+    fs = policy.flow_state(0, 15)
+    ack = Packet(src=15, dst=0, size_bytes=64, kind=ACK,
+                 path=tuple(reversed(fs.metapath.path_for(0))))
+    policy.on_ack(ack, 5e-5)
+    policy.select_path(0, 15, 1024, 9e-5)
+    assert policy.watchdog_fires == 0
+    assert fs.metapath.active_count == 1
+
+
+def test_watchdog_respects_outstanding():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    # No packets outstanding -> never fires, however late the next send.
+    policy.select_path(0, 15, 1024, 0.0)
+    ack = Packet(src=15, dst=0, size_bytes=64, kind=ACK,
+                 path=tuple(reversed(fs.metapath.path_for(0))))
+    policy.on_ack(ack, 1e-5)
+    assert fs.outstanding == 0
+    policy.select_path(0, 15, 1024, 1.0)
+    assert policy.watchdog_fires == 0
+
+
+def test_nonpredictive_ignores_solutions_and_predictive_acks():
+    policy, _ = make(predictive=False)
+    pack = Packet(src=-1, dst=0, size_bytes=64, kind=PREDICTIVE_ACK, path=(0,))
+    pack.contending = [ContendingFlow(0, 15)]
+    policy.on_predictive_ack(pack, 0.0)
+    assert not policy.flows
+    assert policy.solutions_applied == 0
+
+
+def test_predictive_variant_uses_database():
+    policy, _ = make(predictive=True)
+    flows = [ContendingFlow(0, 15), ContendingFlow(3, 11)]
+    fs = policy.flow_state(0, 15)
+    # Seed a saved solution directly.
+    policy.database(0, 15).save(frozenset(flows), (0, 2), 1e-6)
+    pack = Packet(src=-1, dst=0, size_bytes=64, kind=PREDICTIVE_ACK, path=(0,))
+    pack.contending = flows
+    policy.on_predictive_ack(pack, 0.0)
+    assert fs.metapath.active_indices == (0, 2)
+    assert policy.solutions_applied == 1
+
+
+def test_watchdog_with_predictive_applies_saved_solution():
+    policy, _ = make(predictive=True)
+    flows = [ContendingFlow(0, 15), ContendingFlow(3, 11)]
+    fs = policy.flow_state(0, 15)
+    policy.database(0, 15).save(frozenset(flows), (0, 1, 2), 1e-6)
+    policy._merge_contending(fs, flows, now=0.0)
+    policy.select_path(0, 15, 1024, 0.0)
+    policy.select_path(0, 15, 1024, 5e-4)  # watchdog expiry
+    assert policy.watchdog_fires == 1
+    # Signature window (200us default) has expired by 5e-4 - merge again.
+    policy._merge_contending(fs, flows, now=5e-4)
+    policy.select_path(0, 15, 1024, 11e-4)
+    assert fs.metapath.active_count >= 2
+
+
+def test_stats_report_watchdog_and_variant():
+    policy, _ = make(predictive=True)
+    stats = policy.stats()
+    assert stats["watchdog_fires"] == 0
+    assert stats["predictive"] is True

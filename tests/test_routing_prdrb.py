@@ -1,0 +1,177 @@
+"""Tests for PR-DRB's predictive procedures (§3.2.6-3.2.8)."""
+
+import pytest
+
+from repro.core.thresholds import Zone
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import ACK, PREDICTIVE_ACK, ContendingFlow, Packet
+from repro.routing.prdrb import PRDRBConfig, PRDRBPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def make(**cfg_kwargs):
+    cfg_kwargs.setdefault("reconfig_cooldown_s", 0.0)
+    policy = PRDRBPolicy(PRDRBConfig(**cfg_kwargs))
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), policy, Simulator())
+    return policy, fabric
+
+
+FLOWS = [ContendingFlow(0, 15), ContendingFlow(3, 11)]
+
+
+def ack_for(policy, src, dst, msp_index, queueing, now=0.0, contending=()):
+    fs = policy.flow_state(src, dst)
+    path = fs.metapath.path_for(msp_index)
+    ack = Packet(
+        src=dst, dst=src, size_bytes=64, kind=ACK,
+        path=tuple(reversed(path)), acked_msp_index=msp_index,
+    )
+    ack.path_latency = queueing
+    ack.contending = list(contending)
+    policy.on_ack(ack, now)
+    return fs
+
+
+def drive_congestion_episode(policy, now=0.0):
+    """High-latency ACK with contending flows, then recovery ACKs."""
+    fs = policy.flow_state(0, 15)
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=now, contending=FLOWS)
+    t = now + 1e-4
+    for _ in range(20):
+        for idx in fs.metapath.active_indices:
+            ack_for(policy, 0, 15, idx, queueing=0.0, now=t)
+            t += 1e-5
+        t += 1e-4
+        if fs.zone is not Zone.HIGH:
+            break
+    return fs, t
+
+
+def test_unknown_pattern_learns_solution():
+    policy, _ = make()
+    fs, _ = drive_congestion_episode(policy)
+    db = policy.database(0, 15)
+    assert db.patterns_learned == 1
+    assert policy.solutions_saved == 1
+    saved = db.solutions[0]
+    assert saved.signature == frozenset(FLOWS)
+    assert len(saved.path_indices) >= 2  # the expanded set was saved
+
+
+def test_known_pattern_reapplied_at_once():
+    policy, _ = make()
+    fs, t = drive_congestion_episode(policy)
+    saved_set = policy.database(0, 15).solutions[0].path_indices
+    # Drain to a single path again.
+    for _ in range(30):
+        for idx in fs.metapath.active_indices:
+            ack_for(policy, 0, 15, idx, queueing=0.0, now=t)
+            t += 1e-5
+        t += 1e-4
+        if fs.metapath.active_count == 1:
+            break
+    assert fs.metapath.active_count == 1
+    # Same congestion pattern reappears: the whole set opens in one step.
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=t + 1e-3, contending=FLOWS)
+    assert fs.metapath.active_indices == saved_set
+    assert policy.solutions_applied == 1
+
+
+def test_dissimilar_pattern_does_not_reuse():
+    policy, _ = make()
+    fs, t = drive_congestion_episode(policy)
+    for _ in range(30):
+        for idx in fs.metapath.active_indices:
+            ack_for(policy, 0, 15, idx, queueing=0.0, now=t)
+            t += 1e-5
+        t += 1e-4
+        if fs.metapath.active_count == 1:
+            break
+    other = [ContendingFlow(9, 9), ContendingFlow(8, 8), ContendingFlow(7, 7)]
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=t + 1e-2, contending=other)
+    # Fallback to gradual DRB opening: exactly one extra path.
+    assert fs.metapath.active_count == 2
+    assert policy.solutions_applied == 0
+
+
+def test_congestion_without_signature_behaves_like_drb():
+    policy, _ = make()
+    fs = policy.flow_state(0, 15)
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big)  # no contending info
+    assert fs.metapath.active_count == 2
+    assert policy.solutions_saved == 0  # nothing to key the solution on
+
+
+def test_predictive_ack_triggers_early_reaction():
+    policy, _ = make()
+    # Learn a pattern first.
+    fs, t = drive_congestion_episode(policy)
+    for _ in range(30):
+        for idx in fs.metapath.active_indices:
+            ack_for(policy, 0, 15, idx, queueing=0.0, now=t)
+            t += 1e-5
+        t += 1e-4
+        if fs.metapath.active_count == 1:
+            break
+    saved_set = policy.database(0, 15).solutions[0].path_indices
+    pack = Packet(src=-1, dst=0, size_bytes=64, kind=PREDICTIVE_ACK, path=(0,))
+    pack.contending = FLOWS
+    policy.on_predictive_ack(pack, now=t + 1e-3)
+    assert fs.metapath.active_indices == saved_set
+
+
+def test_predictive_ack_for_unknown_pattern_expands():
+    policy, _ = make()
+    pack = Packet(src=-1, dst=0, size_bytes=64, kind=PREDICTIVE_ACK, path=(0,))
+    pack.contending = FLOWS
+    policy.on_predictive_ack(pack, now=0.0)
+    fs = policy.flow_state(0, 15)
+    assert fs.metapath.active_count == 2  # speculative gradual opening
+
+
+def test_predictive_ack_ignores_foreign_flows():
+    policy, _ = make()
+    pack = Packet(src=-1, dst=5, size_bytes=64, kind=PREDICTIVE_ACK, path=(0,))
+    pack.contending = FLOWS  # none sourced at host 5
+    policy.on_predictive_ack(pack, now=0.0)
+    assert not policy.flows  # no state was created
+
+
+def test_solution_updated_when_better_found():
+    policy, _ = make()
+    fs, t = drive_congestion_episode(policy)
+    db = policy.database(0, 15)
+    first_latency = db.solutions[0].achieved_latency_s
+    # Second episode with the same signature but faster recovery.
+    big = fs.thresholds.high_s * 3
+    ack_for(policy, 0, 15, 0, queueing=big, now=t + 1e-2, contending=FLOWS)
+    t2 = t + 2e-2
+    for _ in range(40):
+        for idx in fs.metapath.active_indices:
+            ack_for(policy, 0, 15, idx, queueing=0.0, now=t2)
+            t2 += 1e-5
+        t2 += 1e-4
+        if fs.zone is not Zone.HIGH:
+            break
+    assert db.patterns_learned == 1  # same pattern, not a new one
+    assert db.solutions[0].achieved_latency_s <= first_latency
+
+
+def test_stats_include_pattern_counters():
+    policy, _ = make()
+    drive_congestion_episode(policy)
+    stats = policy.stats()
+    assert stats["policy"] == "pr-drb"
+    assert stats["patterns_learned"] == 1
+    assert "solutions_applied" in stats
+
+
+def test_match_threshold_configurable():
+    policy, _ = make(match_threshold=0.99)
+    assert policy.database(0, 15).match_threshold == 0.99

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "late", priority=5)
+    sim.schedule(1.0, order.append, "early", priority=-5)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-9, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_clock_at_limit():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, 1)
+    executed = sim.run(until=5.0)
+    assert executed == 0
+    assert sim.now == 5.0
+    assert not fired
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=2.5)
+    assert sim.now == 2.5
+
+
+def test_cancelled_events_skipped():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sim.schedule(2.0, fired.append, "y")
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_stop_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    # A later run() resumes.
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.now == 4.0
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert sim.pending == 7
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 5.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 4

@@ -1,0 +1,34 @@
+"""Tests for seeded random-stream management."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RandomStreams(42).stream("traffic")
+    b = RandomStreams(42).stream("traffic")
+    assert a.integers(1 << 30) == b.integers(1 << 30)
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(42)
+    a = streams.stream("traffic")
+    b = streams.stream("routing")
+    # Extremely unlikely to coincide if streams differ.
+    assert list(a.integers(1 << 30, size=8)) != list(b.integers(1 << 30, size=8))
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert list(a.integers(1 << 30, size=8)) != list(b.integers(1 << 30, size=8))
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_offsets_seed():
+    base = RandomStreams(10)
+    rep = base.spawn(3)
+    assert rep.seed == 13

@@ -1,0 +1,113 @@
+"""Unit tests for the k-ary n-tree topology."""
+
+import pytest
+
+from repro.topology.fattree import KaryNTree
+
+
+def test_sizes_4ary_3tree():
+    tree = KaryNTree(4, 3)
+    assert tree.num_hosts == 64
+    assert tree.num_routers == 3 * 16
+
+
+def test_host_digit_roundtrip():
+    tree = KaryNTree(3, 3)
+    for h in range(tree.num_hosts):
+        assert tree.host_from_digits(tree.host_digits(h)) == h
+
+
+def test_leaf_switch_hosts():
+    tree = KaryNTree(4, 2)
+    for h in range(tree.num_hosts):
+        leaf = tree.host_router(h)
+        assert h in tree.router_hosts(leaf)
+
+
+def test_switch_degrees():
+    tree = KaryNTree(4, 3)
+    for r in range(tree.num_routers):
+        level, _ = tree.switch_coords(r)
+        neighbors = tree.router_neighbors(r)
+        if level == 0:  # roots: only down links
+            assert len(neighbors) == 4
+        else:  # middle/leaf: k up + k down (leaf's down links go to hosts)
+            expected = 8 if level < tree.n - 1 else 4
+            assert len(neighbors) == expected
+
+
+def test_adjacency_is_symmetric():
+    tree = KaryNTree(2, 4)
+    for r in range(tree.num_routers):
+        for nb in tree.router_neighbors(r):
+            assert r in tree.router_neighbors(nb)
+
+
+def test_host_minimal_route_same_leaf():
+    tree = KaryNTree(4, 3)
+    # hosts 0 and 1 share a leaf switch.
+    path = tree.host_minimal_route(0, 1)
+    assert len(path) == 1
+    assert path[0] == tree.host_router(0)
+
+
+def test_host_minimal_route_endpoints_and_validity():
+    tree = KaryNTree(4, 3)
+    for src, dst in [(0, 63), (5, 42), (17, 16), (33, 2)]:
+        path = tree.host_minimal_route(src, dst)
+        assert path[0] == tree.host_router(src)
+        assert path[-1] == tree.host_router(dst)
+        assert tree.validate_path(path)
+
+
+def test_host_route_length_matches_nca():
+    tree = KaryNTree(4, 3)
+    # hosts 0 and 63 differ in the first digit: NCA at level 0 (roots);
+    # path = leaf -> mid -> root -> mid -> leaf = 5 switches.
+    assert tree.nca_level(0, 63) == 0
+    assert len(tree.host_minimal_route(0, 63)) == 5
+    # hosts 0 and 3 share the leaf switch.
+    assert len(tree.host_minimal_route(0, 3)) == 1
+    # hosts 0 and 4 share the first digit only -> NCA level 1, 3 switches.
+    assert tree.nca_level(0, 4) == 1
+    assert len(tree.host_minimal_route(0, 4)) == 3
+
+
+def test_alternative_paths_count_matches_redundancy():
+    tree = KaryNTree(4, 3)
+    # NCA at level 0: k^(n-1-0) = 16 distinct ancestors available.
+    paths = tree.alternative_paths(0, 63, max_paths=8)
+    assert len(paths) == 8
+    assert len(set(paths)) == 8
+    for p in paths:
+        assert tree.validate_path(p)
+        assert p[0] == tree.host_router(0)
+        assert p[-1] == tree.host_router(63)
+        assert len(p) == 5  # all minimal
+
+
+def test_alternative_paths_all_minimal_distinct_ancestors():
+    tree = KaryNTree(2, 3)
+    paths = tree.alternative_paths(0, 7, max_paths=16)
+    # 2-ary 3-tree, NCA level 0: 2^2 = 4 root choices.
+    assert len(paths) == 4
+    roots = {p[2] for p in paths}
+    assert len(roots) == 4
+
+
+def test_minimal_route_generic_switch_pairs():
+    tree = KaryNTree(4, 3)
+    leaf_a = tree.host_router(0)
+    leaf_b = tree.host_router(63)
+    path = tree.minimal_route(leaf_a, leaf_b)
+    assert tree.validate_path(path)
+    assert len(path) == 5
+    # route to self
+    assert tree.minimal_route(leaf_a, leaf_a) == (leaf_a,)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        KaryNTree(1, 3)
+    with pytest.raises(ValueError):
+        KaryNTree(4, 0)

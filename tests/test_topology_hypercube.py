@@ -1,0 +1,39 @@
+"""Unit tests for the hypercube topology."""
+
+from repro.topology.hypercube import Hypercube
+
+
+def test_sizes():
+    cube = Hypercube(6)
+    assert cube.num_hosts == 64
+    assert cube.num_routers == 64
+
+
+def test_neighbors_differ_in_one_bit():
+    cube = Hypercube(4)
+    for nb in cube.router_neighbors(0b1010):
+        assert bin(nb ^ 0b1010).count("1") == 1
+    assert len(cube.router_neighbors(0)) == 4
+
+
+def test_ecube_route():
+    cube = Hypercube(3)
+    path = cube.minimal_route(0b000, 0b101)
+    assert list(path) == [0b000, 0b001, 0b101]
+    assert cube.validate_path(path)
+
+
+def test_distance_is_hamming():
+    cube = Hypercube(5)
+    assert cube.distance(0, 0b10101) == 3
+    assert len(cube.minimal_route(0, 0b10101)) - 1 == 3
+
+
+def test_alternative_paths_valid():
+    cube = Hypercube(4)
+    paths = cube.alternative_paths(0, 15, max_paths=4)
+    assert paths[0] == cube.minimal_route(0, 15)
+    assert len(set(paths)) == len(paths)
+    for p in paths:
+        assert cube.validate_path(p)
+        assert p[0] == 0 and p[-1] == 15

@@ -1,0 +1,100 @@
+"""Unit tests for mesh and torus topologies."""
+
+import pytest
+
+from repro.topology.mesh import Mesh2D, Torus2D
+
+
+def test_mesh_sizes():
+    mesh = Mesh2D(8, 8)
+    assert mesh.num_hosts == 64
+    assert mesh.num_routers == 64
+
+
+def test_mesh_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Mesh2D(1)
+
+
+def test_mesh_coords_roundtrip():
+    mesh = Mesh2D(5, 3)
+    for r in range(mesh.num_routers):
+        x, y = mesh.coords(r)
+        assert mesh.router_id(x, y) == r
+
+
+def test_mesh_corner_and_center_degree():
+    mesh = Mesh2D(4)
+    assert len(mesh.router_neighbors(mesh.router_id(0, 0))) == 2
+    assert len(mesh.router_neighbors(mesh.router_id(1, 0))) == 3
+    assert len(mesh.router_neighbors(mesh.router_id(1, 1))) == 4
+
+
+def test_mesh_dor_route_x_first():
+    mesh = Mesh2D(4)
+    path = mesh.minimal_route(mesh.router_id(0, 0), mesh.router_id(2, 2))
+    expected = [
+        mesh.router_id(0, 0),
+        mesh.router_id(1, 0),
+        mesh.router_id(2, 0),
+        mesh.router_id(2, 1),
+        mesh.router_id(2, 2),
+    ]
+    assert list(path) == expected
+
+
+def test_mesh_route_is_valid_and_minimal():
+    mesh = Mesh2D(6, 4)
+    for src in [0, 5, 13]:
+        for dst in [0, 7, 23]:
+            path = mesh.minimal_route(src, dst)
+            assert mesh.validate_path(path)
+            assert len(path) - 1 == mesh.distance(src, dst)
+
+
+def test_mesh_alternative_paths_distinct_and_valid():
+    mesh = Mesh2D(8)
+    paths = mesh.alternative_paths(0, 63, max_paths=4)
+    assert len(paths) == 4
+    assert len(set(paths)) == 4
+    for p in paths:
+        assert mesh.validate_path(p)
+        assert p[0] == mesh.host_router(0)
+        assert p[-1] == mesh.host_router(63)
+
+
+def test_mesh_alternative_paths_first_is_deterministic():
+    mesh = Mesh2D(8)
+    paths = mesh.alternative_paths(3, 40, max_paths=4)
+    assert paths[0] == mesh.minimal_route(3, 40)
+
+
+def test_mesh_same_router_pair():
+    mesh = Mesh2D(4)
+    assert mesh.minimal_route(5, 5) == (5,)
+    assert mesh.alternative_paths(5, 5, max_paths=4) == [(5,)]
+
+
+def test_torus_wraparound_neighbors():
+    torus = Torus2D(4)
+    corner = torus.router_id(0, 0)
+    neighbors = set(torus.router_neighbors(corner))
+    assert torus.router_id(3, 0) in neighbors
+    assert torus.router_id(0, 3) in neighbors
+    assert len(neighbors) == 4
+
+
+def test_torus_shortest_direction():
+    torus = Torus2D(8, 8)
+    # 0 -> 7 along x should wrap (1 hop), not walk 7 hops.
+    path = torus.minimal_route(torus.router_id(0, 0), torus.router_id(7, 0))
+    assert len(path) == 2
+    assert torus.distance(torus.router_id(0, 0), torus.router_id(7, 0)) == 1
+
+
+def test_torus_route_valid():
+    torus = Torus2D(5, 5)
+    for src, dst in [(0, 24), (3, 17), (12, 2)]:
+        path = torus.minimal_route(src, dst)
+        assert torus.validate_path(path)
+        assert len(path) - 1 == torus.distance(src, dst)

@@ -1,0 +1,87 @@
+"""Property-based tests of topology invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.fattree import KaryNTree
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh2D, Torus2D
+
+mesh_dims = st.tuples(st.integers(2, 8), st.integers(2, 8))
+
+
+@given(mesh_dims, st.data())
+def test_mesh_routes_are_minimal_valid(dims, data):
+    mesh = Mesh2D(*dims)
+    src = data.draw(st.integers(0, mesh.num_routers - 1))
+    dst = data.draw(st.integers(0, mesh.num_routers - 1))
+    path = mesh.minimal_route(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert mesh.validate_path(path)
+    assert len(path) - 1 == mesh.distance(src, dst)
+    assert len(set(path)) == len(path)  # no loops
+
+
+@given(mesh_dims, st.data())
+def test_torus_routes_are_minimal_valid(dims, data):
+    torus = Torus2D(*dims)
+    src = data.draw(st.integers(0, torus.num_routers - 1))
+    dst = data.draw(st.integers(0, torus.num_routers - 1))
+    path = torus.minimal_route(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert torus.validate_path(path)
+    assert len(path) - 1 == torus.distance(src, dst)
+
+
+@given(mesh_dims, st.data(), st.integers(2, 6))
+def test_mesh_alternative_paths_invariants(dims, data, max_paths):
+    mesh = Mesh2D(*dims)
+    src = data.draw(st.integers(0, mesh.num_hosts - 1))
+    dst = data.draw(st.integers(0, mesh.num_hosts - 1))
+    paths = mesh.alternative_paths(src, dst, max_paths)
+    assert 1 <= len(paths) <= max_paths
+    assert len(set(paths)) == len(paths)
+    for p in paths:
+        assert p[0] == mesh.host_router(src)
+        assert p[-1] == mesh.host_router(dst)
+        assert mesh.validate_path(p)
+        assert len(set(p)) == len(p)  # MSPs never loop
+
+
+@settings(max_examples=40)
+@given(st.integers(2, 4), st.integers(2, 3), st.data())
+def test_fattree_host_routes(k, n, data):
+    tree = KaryNTree(k, n)
+    src = data.draw(st.integers(0, tree.num_hosts - 1))
+    dst = data.draw(st.integers(0, tree.num_hosts - 1))
+    path = tree.host_minimal_route(src, dst)
+    assert path[0] == tree.host_router(src)
+    assert path[-1] == tree.host_router(dst)
+    assert tree.validate_path(path)
+    # Up/down length: 2 * (n-1 - nca_level) + 1 switches.
+    nca = tree.nca_level(src, dst)
+    assert len(path) == 2 * (tree.n - 1 - nca) + 1
+
+
+@settings(max_examples=40)
+@given(st.integers(2, 4), st.integers(2, 3), st.data())
+def test_fattree_alternative_paths_are_minimal_and_distinct(k, n, data):
+    tree = KaryNTree(k, n)
+    src = data.draw(st.integers(0, tree.num_hosts - 1))
+    dst = data.draw(st.integers(0, tree.num_hosts - 1))
+    paths = tree.alternative_paths(src, dst, max_paths=6)
+    baseline = len(paths[0])
+    assert len(set(paths)) == len(paths)
+    for p in paths:
+        assert len(p) == baseline  # all NCA paths are minimal
+        assert tree.validate_path(p)
+
+
+@given(st.integers(1, 7), st.data())
+def test_hypercube_routes(dim, data):
+    cube = Hypercube(dim)
+    src = data.draw(st.integers(0, cube.num_routers - 1))
+    dst = data.draw(st.integers(0, cube.num_routers - 1))
+    path = cube.minimal_route(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert cube.validate_path(path)
+    assert len(path) - 1 == (src ^ dst).bit_count()

@@ -1,0 +1,95 @@
+"""Tests for the slimmed k-ary n-tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.slimtree import SlimmedKaryNTree
+
+
+def test_parameters_validated():
+    with pytest.raises(ValueError):
+        SlimmedKaryNTree(4, 3, keep_fraction=0.0)
+    with pytest.raises(ValueError):
+        SlimmedKaryNTree(4, 3, keep_fraction=1.5)
+    with pytest.raises(ValueError):
+        SlimmedKaryNTree(4, 1, keep_fraction=0.5)
+
+
+def test_root_switch_removal():
+    tree = SlimmedKaryNTree(4, 3, keep_fraction=0.5)
+    assert tree.kept_digits == 2
+    roots = [r for r in range(16)]  # level 0 = ids 0..15
+    alive = [r for r in roots if tree.router_alive(r)]
+    assert len(alive) == 8  # half the roots survive
+    assert tree.num_live_routers == 48 - 8
+
+
+def test_dead_roots_have_no_neighbors():
+    tree = SlimmedKaryNTree(4, 3, keep_fraction=0.5)
+    dead = [r for r in range(16) if not tree.router_alive(r)]
+    for r in dead:
+        assert tree.router_neighbors(r) == ()
+    # Live mid-level switches never point at dead roots.
+    for r in range(16, 32):
+        for nb in tree.router_neighbors(r):
+            assert tree.router_alive(nb)
+
+
+def test_full_fraction_is_plain_fattree():
+    from repro.topology.fattree import KaryNTree
+
+    slim = SlimmedKaryNTree(4, 3, keep_fraction=1.0)
+    full = KaryNTree(4, 3)
+    for pair in [(0, 63), (5, 42), (17, 16)]:
+        assert slim.host_minimal_route(*pair) == full.host_minimal_route(*pair)
+
+
+@settings(max_examples=60)
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_routes_avoid_removed_roots(src, dst):
+    tree = SlimmedKaryNTree(4, 3, keep_fraction=0.25)
+    path = tree.host_minimal_route(src, dst)
+    assert path[0] == tree.host_router(src)
+    assert path[-1] == tree.host_router(dst)
+    assert all(tree.router_alive(r) for r in path)
+    assert tree.validate_path(path)
+
+
+@settings(max_examples=40)
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_alternative_paths_all_live(src, dst):
+    tree = SlimmedKaryNTree(4, 3, keep_fraction=0.5)
+    paths = tree.alternative_paths(src, dst, max_paths=4)
+    assert paths
+    for p in paths:
+        assert all(tree.router_alive(r) for r in p)
+        assert tree.validate_path(p)
+    assert len(set(paths)) == len(paths)
+
+
+def test_slimming_reduces_path_diversity():
+    full = SlimmedKaryNTree(4, 3, keep_fraction=1.0)
+    slim = SlimmedKaryNTree(4, 3, keep_fraction=0.25)
+    # Cross-tree pair: the NCA sits at the root level.
+    full_paths = full.alternative_paths(0, 63, max_paths=16)
+    slim_paths = slim.alternative_paths(0, 63, max_paths=16)
+    assert len(slim_paths) < len(full_paths)
+
+
+def test_simulation_on_slim_tree_is_lossless():
+    from repro.network.config import NetworkConfig
+    from repro.network.fabric import Fabric
+    from repro.routing import make_policy
+    from repro.sim.engine import Simulator
+
+    tree = SlimmedKaryNTree(4, 3, keep_fraction=0.5)
+    sim = Simulator()
+    fabric = Fabric(tree, NetworkConfig(), make_policy("pr-drb"), sim)
+    for i in range(40):
+        fabric.send(i % 32, (63 - i) % 64, 1024)
+    sim.run(until=0.05)
+    assert fabric.accepted_ratio() == 1.0
+    # No traffic ever crossed a removed root.
+    for r in range(16):
+        if not tree.router_alive(r):
+            assert fabric.routers[r].packets_forwarded == 0

@@ -1,0 +1,70 @@
+"""Tests for the bursty on/off schedule (Fig. 2.6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.bursty import BurstSchedule
+
+
+def test_simple_on_off_cycle():
+    sched = BurstSchedule(on_s=1.0, off_s=1.0)
+    assert sched.is_on(0.0)
+    assert sched.is_on(0.99)
+    assert not sched.is_on(1.5)
+    assert sched.is_on(2.0)
+    assert sched.period_s == 2.0
+
+
+def test_burst_index():
+    sched = BurstSchedule(on_s=1.0, off_s=1.0)
+    assert sched.burst_index(0.5) == 0
+    assert sched.burst_index(1.5) is None
+    assert sched.burst_index(2.5) == 1
+    assert sched.burst_index(4.1) == 2
+
+
+def test_start_offset():
+    sched = BurstSchedule(on_s=1.0, off_s=1.0, start_s=5.0)
+    assert not sched.is_on(4.9)
+    assert sched.is_on(5.0)
+    assert sched.next_on(0.0) == 5.0
+
+
+def test_repetitions_bound():
+    sched = BurstSchedule(on_s=1.0, off_s=1.0, repetitions=2)
+    assert sched.is_on(0.5)
+    assert sched.is_on(2.5)
+    assert not sched.is_on(4.5)  # third burst never happens
+    assert sched.next_on(3.5) is None
+    assert sched.end_time() == 3.0
+
+
+def test_next_on_within_burst_is_identity():
+    sched = BurstSchedule(on_s=1.0, off_s=1.0)
+    assert sched.next_on(0.25) == 0.25
+    assert sched.next_on(1.25) == 2.0
+
+
+def test_unbounded_end_time():
+    assert BurstSchedule(on_s=1.0, off_s=1.0).end_time() is None
+
+
+def test_invalid_durations():
+    with pytest.raises(ValueError):
+        BurstSchedule(on_s=0.0, off_s=1.0)
+    with pytest.raises(ValueError):
+        BurstSchedule(on_s=1.0, off_s=-1.0)
+
+
+@given(
+    st.floats(1e-6, 10),
+    st.floats(0, 10),
+    st.floats(0, 10),
+    st.floats(0, 100),
+)
+def test_next_on_lands_inside_a_burst(on_s, off_s, start_s, t):
+    sched = BurstSchedule(on_s=on_s, off_s=off_s, start_s=start_s)
+    resume = sched.next_on(t)
+    assert resume is not None
+    assert resume >= t
+    assert sched.is_on(resume)

@@ -1,0 +1,124 @@
+"""Tests for rate-controlled traffic injection."""
+
+import numpy as np
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.deterministic import DeterministicPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import HotSpotFlow, HotSpotWorkload, SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+
+def make_fabric():
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), DeterministicPolicy(), sim)
+    return fabric, sim
+
+
+def test_injection_rate_approximates_offered_load():
+    fabric, sim = make_fabric()
+    pattern = make_pattern("bit-reversal", 16)
+    duration = 1e-3
+    rate = 200e6  # comfortably below capacity
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=range(16), rate_bps=rate,
+        schedule=BurstSchedule(on_s=duration, off_s=0.0),
+        stop_s=duration,
+    )
+    src.start()
+    sim.run(until=duration + 1e-3)
+    # Bit-reversal fixed points (0, 6, 9, 15 for 4 bits) never send.
+    senders = sum(1 for h in range(16) if pattern.destination(h) != h)
+    per_node = src.messages_sent / senders
+    expected = duration * rate / (1024 * 8)
+    assert per_node == pytest.approx(expected, rel=0.1)
+    assert fabric.accepted_ratio() == 1.0
+
+
+def test_bursty_schedule_gates_injection():
+    fabric, sim = make_fabric()
+    pattern = make_pattern("perfect-shuffle", 16)
+    sched = BurstSchedule(on_s=1e-4, off_s=1e-4, repetitions=2)
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=range(16), rate_bps=400e6,
+        schedule=sched, stop_s=1e-3,
+    )
+    src.start()
+    sim.run(until=2e-3)
+    # Two bursts of 1e-4s each at ~48.8 pkt/ms/node -> about 2 * 4.88 * 16.
+    continuous = 1e-3 * 400e6 / 8192
+    bursty_expected = 2 * 1e-4 * 400e6 / 8192 * 16
+    assert src.messages_sent < continuous * 16 * 0.5
+    assert src.messages_sent == pytest.approx(bursty_expected, rel=0.25)
+
+
+def test_uniform_pattern_never_self_sends():
+    fabric, sim = make_fabric()
+    rng = np.random.default_rng(7)
+    pattern = make_pattern("uniform", 16, rng=rng)
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=range(16), rate_bps=100e6,
+        schedule=BurstSchedule(on_s=1e-4, off_s=0), stop_s=1e-4,
+    )
+    src.start()
+    sim.run(until=5e-4)
+    assert fabric.data_packets_injected == fabric.data_packets_delivered
+    for node in fabric.nodes:
+        # Self-sends would be loopback (never injected), so every
+        # delivered packet crossed the network.
+        assert node.packets_received <= fabric.data_packets_delivered
+
+
+def test_rejects_nonpositive_rate():
+    fabric, _ = make_fabric()
+    pattern = make_pattern("bit-reversal", 16)
+    with pytest.raises(ValueError):
+        SyntheticTrafficSource(
+            fabric, pattern, hosts=range(16), rate_bps=0,
+            schedule=BurstSchedule(on_s=1, off_s=0), stop_s=1,
+        )
+
+
+def test_hotspot_workload_congests_shared_segment():
+    fabric, sim = make_fabric()
+    flows = [HotSpotFlow(0, 15), HotSpotFlow(3, 11)]
+    work = HotSpotWorkload(
+        fabric, flows, rate_bps=1.5e9,
+        schedule=BurstSchedule(on_s=5e-4, off_s=0), stop_s=5e-4,
+    )
+    work.start()
+    sim.run(until=2e-3)
+    cmap = fabric.contention_map()
+    # Router (3,0) = id 3 serves both flows' column-3 climb.
+    assert cmap.get(3, 0.0) > 0
+    assert work.messages_sent > 0
+
+
+def test_hotspot_noise_hosts_inject_uniform():
+    fabric, sim = make_fabric()
+    flows = [HotSpotFlow(0, 15)]
+    work = HotSpotWorkload(
+        fabric, flows, rate_bps=400e6,
+        schedule=BurstSchedule(on_s=2e-4, off_s=0), stop_s=2e-4,
+        noise_hosts=range(16), noise_rate_bps=50e6,
+        rng=np.random.default_rng(0),
+    )
+    work.start()
+    sim.run(until=1e-3)
+    senders = {n.host_id for n in fabric.nodes if n.packets_injected > 0}
+    assert len(senders) > 5  # noise spread beyond the single aggressor
+    assert 0 in senders
+
+
+def test_noise_hosts_exclude_aggressor_sources():
+    fabric, _ = make_fabric()
+    work = HotSpotWorkload(
+        fabric, [HotSpotFlow(2, 13)], rate_bps=400e6,
+        schedule=BurstSchedule(on_s=1e-4, off_s=0), stop_s=1e-4,
+        noise_hosts=range(16), noise_rate_bps=10e6,
+    )
+    assert 2 not in work.noise_hosts

@@ -1,0 +1,82 @@
+"""Tests for the Fig. 2.6a low-load (idle) phase between bursts."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing.deterministic import DeterministicPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import HotSpotFlow, HotSpotWorkload, SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+
+def make_fabric():
+    sim = Simulator()
+    fabric = Fabric(Mesh2D(4), NetworkConfig(), DeterministicPolicy(), sim)
+    return fabric, sim
+
+
+def test_idle_phase_keeps_trickling():
+    fabric, sim = make_fabric()
+    pattern = make_pattern("bit-reversal", 16)
+    sched = BurstSchedule(on_s=1e-4, off_s=4e-4, repetitions=2)
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=[1], rate_bps=800e6,
+        schedule=sched, stop_s=sched.end_time(),
+        idle_rate_bps=100e6,
+    )
+    src.start()
+    sim.run(until=sched.end_time() + 1e-3)
+    # Burst phase: ~1e-4 * 800e6 / 8192 ≈ 9.8 messages; idle adds more.
+    burst_only = 2 * 1e-4 * 800e6 / 8192
+    assert src.messages_sent > burst_only + 2
+
+
+def test_zero_idle_rate_stays_silent_between_bursts():
+    fabric, sim = make_fabric()
+    pattern = make_pattern("bit-reversal", 16)
+    sched = BurstSchedule(on_s=1e-4, off_s=4e-4, repetitions=2)
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=[1], rate_bps=800e6,
+        schedule=sched, stop_s=sched.end_time(),
+        idle_rate_bps=0.0,
+    )
+    src.start()
+    sim.run(until=sched.end_time() + 1e-3)
+    burst_only = 2 * 1e-4 * 800e6 / 8192
+    assert src.messages_sent == pytest.approx(burst_only, abs=3)
+
+
+def test_hotspot_idle_trickle_targets_same_destination():
+    fabric, sim = make_fabric()
+    sched = BurstSchedule(on_s=1e-4, off_s=4e-4, repetitions=2)
+    work = HotSpotWorkload(
+        fabric, [HotSpotFlow(0, 15)], rate_bps=800e6,
+        schedule=sched, stop_s=sched.end_time(),
+        idle_rate_bps=100e6,
+    )
+    work.start()
+    sim.run(until=sched.end_time() + 1e-3)
+    # Only host 0 sends, only host 15 receives — idle traffic included.
+    assert fabric.nodes[15].packets_received == fabric.data_packets_delivered
+    senders = [n.host_id for n in fabric.nodes if n.packets_injected]
+    assert senders == [0]
+
+
+def test_idle_interval_respects_rate():
+    fabric, _ = make_fabric()
+    pattern = make_pattern("bit-reversal", 16)
+    src = SyntheticTrafficSource(
+        fabric, pattern, hosts=[1], rate_bps=800e6,
+        schedule=BurstSchedule(on_s=1e-4, off_s=1e-4),
+        stop_s=1e-3, idle_rate_bps=100e6,
+    )
+    assert src.idle_interval_s == pytest.approx(1024 * 8 / 100e6)
+    off = SyntheticTrafficSource(
+        fabric, pattern, hosts=[1], rate_bps=800e6,
+        schedule=BurstSchedule(on_s=1e-4, off_s=1e-4),
+        stop_s=1e-3,
+    )
+    assert off.idle_interval_s is None

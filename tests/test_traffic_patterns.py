@@ -1,0 +1,91 @@
+"""Tests for Table 4.1 synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.patterns import (
+    bit_reversal,
+    make_pattern,
+    matrix_transpose,
+    perfect_shuffle,
+)
+
+
+def test_bit_reversal_examples():
+    # 6-bit: 000001 -> 100000
+    assert bit_reversal(1, 6) == 32
+    assert bit_reversal(0b110100, 6) == 0b001011
+    assert bit_reversal(0, 6) == 0
+
+
+def test_perfect_shuffle_examples():
+    # rotate left: bit i of dst = bit (i-1) of src; MSB wraps to LSB.
+    assert perfect_shuffle(0b100000, 6) == 0b000001
+    assert perfect_shuffle(0b000001, 6) == 0b000010
+    assert perfect_shuffle(0b101011, 6) == 0b010111
+
+
+def test_matrix_transpose_examples():
+    # swap halves of the bit string.
+    assert matrix_transpose(0b111000, 6) == 0b000111
+    assert matrix_transpose(0b000111, 6) == 0b111000
+    assert matrix_transpose(0b101010, 6) == 0b010101
+
+
+@pytest.mark.parametrize("fn", [bit_reversal, perfect_shuffle, matrix_transpose])
+@pytest.mark.parametrize("bits", [2, 4, 5, 6, 8])
+def test_patterns_are_bijections(fn, bits):
+    n = 1 << bits
+    dests = {fn(s, bits) for s in range(n)}
+    assert dests == set(range(n))
+
+
+@given(st.integers(1, 10), st.data())
+def test_bit_reversal_is_involution(bits, data):
+    s = data.draw(st.integers(0, (1 << bits) - 1))
+    assert bit_reversal(bit_reversal(s, bits), bits) == s
+
+
+@given(st.integers(2, 10), st.data())
+def test_transpose_is_involution_even_bits(bits, data):
+    if bits % 2:
+        bits += 1
+    s = data.draw(st.integers(0, (1 << bits) - 1))
+    assert matrix_transpose(matrix_transpose(s, bits), bits) == s
+
+
+@given(st.integers(1, 10), st.data())
+def test_shuffle_order_divides_bits(bits, data):
+    s = data.draw(st.integers(0, (1 << bits) - 1))
+    v = s
+    for _ in range(bits):
+        v = perfect_shuffle(v, bits)
+    assert v == s
+
+
+def test_make_pattern_permutation():
+    pat = make_pattern("bit-reversal", 64)
+    assert pat.is_permutation
+    assert pat.num_nodes == 64
+    assert pat.destination(1) == 32
+
+
+def test_make_pattern_uniform_avoids_self():
+    rng = np.random.default_rng(0)
+    pat = make_pattern("uniform", 16, rng=rng)
+    for src in range(16):
+        for _ in range(20):
+            assert pat.destination(src) != src
+
+
+def test_make_pattern_validations():
+    with pytest.raises(ValueError):
+        make_pattern("bit-reversal", 48)  # not a power of two
+    with pytest.raises(ValueError):
+        make_pattern("nope", 64)
+    with pytest.raises(ValueError):
+        make_pattern("uniform", 64).destination(0)  # no rng
+    pat = make_pattern("bit-reversal", 64)
+    with pytest.raises(ValueError):
+        pat.destination(64)

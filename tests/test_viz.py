@@ -1,0 +1,57 @@
+"""Tests for text-mode visualization."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_surface, horizontal_bars, sparkline
+
+
+def test_ascii_surface_shading():
+    surface = np.array([[0.0, 0.5], [1.0, 0.25]])
+    art = ascii_surface(surface, flip_y=False)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert lines[0][0] == " "      # zero cell
+    assert lines[1][0] == "@"      # the peak
+    assert lines[0][1] not in " @"  # mid value
+
+
+def test_ascii_surface_flips_y():
+    surface = np.array([[1.0, 0.0], [0.0, 0.0]])
+    flipped = ascii_surface(surface, flip_y=True).splitlines()
+    assert flipped[1][0] == "@"  # row 0 rendered at the bottom
+
+
+def test_ascii_surface_all_zero():
+    art = ascii_surface(np.zeros((3, 4)))
+    assert art == "\n".join("    " for _ in range(3))
+
+
+def test_ascii_surface_rejects_1d():
+    with pytest.raises(ValueError):
+        ascii_surface(np.zeros(4))
+
+
+def test_sparkline_monotone():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(line) == 8
+
+
+def test_sparkline_compresses_long_series():
+    line = sparkline(range(1000), width=50)
+    assert len(line) == 50
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    assert set(sparkline([5, 5, 5])) == {"▁"}
+
+
+def test_horizontal_bars():
+    text = horizontal_bars({"drb": 10.0, "pr-drb": 5.0}, width=10, unit="us")
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert "pr-drb" in lines[1]
+    assert horizontal_bars({}) == "(no data)"

@@ -1,0 +1,82 @@
+"""Tests for solution-database serialization and PR-DRB warm start
+(the §5.2 "static variation")."""
+
+import json
+
+from repro.core.contending import make_signature
+from repro.core.solutions import SolutionDatabase
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import ContendingFlow
+from repro.routing.prdrb import PRDRBPolicy
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh2D
+
+
+def sig(*pairs):
+    return make_signature(ContendingFlow(*p) for p in pairs)
+
+
+def test_database_roundtrip_json():
+    db = SolutionDatabase(match_threshold=0.7, similarity="jaccard")
+    db.save(sig((1, 5), (2, 7)), (0, 1, 3), 4.5e-4)
+    db.solutions[0].reuse_count = 9
+    encoded = json.loads(json.dumps(db.to_dict()))
+    again = SolutionDatabase.from_dict(encoded)
+    assert again.match_threshold == 0.7
+    assert again.similarity == "jaccard"
+    assert again.patterns_learned == 1
+    sol = again.solutions[0]
+    assert sol.signature == sig((1, 5), (2, 7))
+    assert sol.path_indices == (0, 1, 3)
+    assert sol.reuse_count == 9
+
+
+def make_policy_pair():
+    teacher = PRDRBPolicy()
+    student = PRDRBPolicy()
+    for p in (teacher, student):
+        Fabric(Mesh2D(4), NetworkConfig(), p, Simulator())
+    return teacher, student
+
+
+def test_export_import_between_policies():
+    teacher, student = make_policy_pair()
+    teacher.database(0, 15).save(sig((0, 15), (3, 11)), (0, 2), 1e-4)
+    teacher.database(1, 14).save(sig((1, 14)), (0, 1), 2e-4)
+    exported = json.loads(json.dumps(teacher.export_solutions()))
+    loaded = student.import_solutions(exported)
+    assert loaded == 2
+    hit = student.database(0, 15).lookup(sig((0, 15), (3, 11)))
+    assert hit is not None
+    assert hit.path_indices == (0, 2)
+
+
+def test_export_skips_empty_databases():
+    teacher, _ = make_policy_pair()
+    teacher.database(0, 15)  # created but empty
+    assert teacher.export_solutions() == {}
+
+
+def test_warm_started_policy_applies_on_first_congestion():
+    """A pre-loaded pattern is applied on the very first occurrence."""
+    _, student = make_policy_pair()
+    flows = sig((0, 15), (3, 11))
+    student.import_solutions(
+        {"0-15": SolutionDatabase().to_dict() | {
+            "solutions": [{
+                "signature": [[0, 15], [3, 11]],
+                "path_indices": [0, 1, 2],
+                "achieved_latency_s": 1e-4,
+                "reuse_count": 0,
+            }],
+        }}
+    )
+    fs = student.flow_state(0, 15)
+    student._merge_contending(fs, list(flows), now=0.0)
+    from repro.core.thresholds import Zone
+
+    fs.zone = Zone.HIGH
+    assert student._on_congestion(fs, 0.0)
+    assert fs.metapath.active_indices == (0, 1, 2)
+    assert student.solutions_applied == 1
