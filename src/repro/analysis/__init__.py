@@ -1,0 +1,49 @@
+"""Determinism & invariant analysis subsystem.
+
+The paper's evaluation method rests on reproducible repeated-burst
+experiments: every figure is a multi-seed average, and PR-DRB's predictive
+contribution (replaying a saved solution when a congestion signature
+recurs) is only measurable when run-to-run behaviour is bit-stable for a
+given seed.  This package makes that property machine-checked instead of
+aspirational, in three layers:
+
+* :mod:`repro.analysis.lint` — AST-based static lints tuned to this
+  simulator (``no-ambient-rng``, ``no-wall-clock``, ``no-salted-hash``,
+  ``no-unordered-iteration``, ``no-float-eq``), with per-line
+  ``# repro: allow(<rule>)`` suppressions and JSON/human output.
+  Run as ``python -m repro.analysis src/``.
+* :mod:`repro.analysis.invariants` — :class:`DebugInvariants`, a runtime
+  checker installable on a live :class:`~repro.network.fabric.Fabric`
+  asserting clock monotonicity, packet conservation, buffer-credit
+  non-negativity and metapath zone-transition legality while a simulation
+  runs.
+* :mod:`repro.analysis.replay` — the seeded-replay determinism harness:
+  run a scenario twice with the same seed and diff event-trace and metric
+  digests.  Run as ``python -m repro.analysis replay``.
+
+See ``docs/invariants.md`` for the complete rule & invariant catalogue.
+"""
+
+from repro.analysis.invariants import DebugInvariants, InvariantViolation
+from repro.analysis.lint import (
+    ALL_RULES,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.replay import ReplayReport, RunDigest, check_determinism, run_scenario
+
+__all__ = [
+    "ALL_RULES",
+    "DebugInvariants",
+    "InvariantViolation",
+    "ReplayReport",
+    "RunDigest",
+    "Violation",
+    "check_determinism",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_scenario",
+]

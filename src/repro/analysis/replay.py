@@ -1,0 +1,289 @@
+"""Seeded-replay determinism harness.
+
+The predictive claim of the paper is only measurable if a scenario replayed
+with the same seed is *bit-identical*: every figure averages repeated
+bursts across seeds, and PR-DRB's solution reuse compares congestion
+signatures across repetitions.  This module runs a small mesh PR-DRB
+scenario N times with the same root seed and diffs two digests per run:
+
+* the **event-trace digest** — a SHA-256 over every executed event's
+  ``(time, priority, sequence, callback)`` tuple, captured through
+  :attr:`Simulator.event_hook`.  Any divergence in scheduling order or
+  timing shows up here first.
+* the **metrics digest** — a SHA-256 over the recorder's per-packet
+  latencies, windowed series, fabric counters and policy statistics (the
+  quantities the evaluation chapter actually plots).
+
+Used three ways: as a CLI (``python -m repro.analysis replay``), as a
+tier-1 regression test (``tests/test_determinism_replay.py``), and as a
+library (:func:`check_determinism`) for gating future refactors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "RunDigest",
+    "ReplayReport",
+    "EventTraceDigest",
+    "digest_metrics",
+    "run_scenario",
+    "check_determinism",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """Fingerprint of one complete simulation run."""
+
+    seed: int
+    policy: str
+    events: str
+    metrics: str
+    events_executed: int
+    packets_delivered: int
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "events": self.events,
+            "metrics": self.metrics,
+            "events_executed": self.events_executed,
+            "packets_delivered": self.packets_delivered,
+        }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying one scenario ``runs`` times with one seed."""
+
+    runs: tuple[RunDigest, ...]
+
+    @property
+    def deterministic(self) -> bool:
+        first = self.runs[0]
+        return all(
+            r.events == first.events and r.metrics == first.metrics
+            for r in self.runs[1:]
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "deterministic": self.deterministic,
+            "runs": [r.to_dict() for r in self.runs],
+        }
+
+
+class EventTraceDigest:
+    """Streaming SHA-256 over the executed event sequence."""
+
+    def __init__(self) -> None:
+        self._sha = hashlib.sha256()
+        self.events = 0
+
+    def install(self, sim) -> "EventTraceDigest":
+        prior = sim.event_hook
+
+        def hook(event) -> None:
+            self.update(event)
+            if prior is not None:
+                prior(event)
+
+        sim.event_hook = hook
+        return self
+
+    def update(self, event) -> None:
+        self.events += 1
+        fn = event.fn
+        label = getattr(fn, "__qualname__", repr(fn))
+        self._sha.update(
+            struct.pack("<dii", event.time, event.priority, event.sequence)
+        )
+        self._sha.update(label.encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._sha.hexdigest()
+
+
+def digest_metrics(fabric, recorder, policy) -> str:
+    """Canonical SHA-256 over everything the evaluation would plot.
+
+    Floats are hashed via their exact IEEE-754 bits (``struct.pack``):
+    determinism here means *bit*-stability, not approximate equality.
+    """
+    sha = hashlib.sha256()
+
+    def add_floats(values) -> None:
+        for v in values:
+            sha.update(struct.pack("<d", float(v)))
+
+    def add_text(text: str) -> None:
+        sha.update(text.encode("utf-8"))
+
+    add_text(
+        f"injected={fabric.data_packets_injected};"
+        f"delivered={fabric.data_packets_delivered};"
+        f"bytes={fabric.data_bytes_delivered};"
+        f"acks={fabric.acks_delivered};"
+        f"packs={fabric.predictive_acks_delivered};"
+        f"dropped={fabric.packets_dropped};"
+    )
+    add_floats(recorder.latencies)
+    times, values = recorder.latency_series.finalize()
+    add_floats(times)
+    add_floats(values)
+    add_floats([recorder.global_average_latency_s])
+    # Policy statistics: a plain dict of counters/floats; sort for a
+    # canonical order and hash floats exactly.
+    for key in sorted(policy.stats()):
+        value = policy.stats()[key]
+        add_text(f"{key}=")
+        if isinstance(value, float):
+            add_floats([value])
+        else:
+            add_text(repr(value))
+    for router_id in sorted(fabric.contention_map()):
+        add_text(f"router{router_id}=")
+        add_floats([fabric.contention_map()[router_id]])
+    return sha.hexdigest()
+
+
+def run_scenario(
+    seed: int = 0,
+    policy: str = "pr-drb",
+    mesh_side: int = 4,
+    repetitions: int = 3,
+    with_invariants: bool = False,
+) -> RunDigest:
+    """One complete small-mesh hot-spot run, fully seeded, digested.
+
+    A ``mesh_side`` x ``mesh_side`` mesh carries three colliding flows plus
+    uniform background noise through repeated bursts — small enough for a
+    sub-second run, busy enough to exercise ACK notification, metapath
+    expansion and (for ``pr-drb``) solution save/replay.
+    """
+    from repro.metrics.recorder import StatsRecorder
+    from repro.network.config import NetworkConfig
+    from repro.network.fabric import Fabric
+    from repro.routing import make_policy
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+    from repro.topology.mesh import Mesh2D
+    from repro.traffic.bursty import BurstSchedule
+    from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
+
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    trace = EventTraceDigest().install(sim)
+    recorder = StatsRecorder(window_s=2.5e-5)
+    try:
+        policy_obj = make_policy(policy, rng=streams.stream("routing"))
+    except TypeError:
+        # Policies without a random component (e.g. deterministic).
+        policy_obj = make_policy(policy)
+    fabric = Fabric(
+        Mesh2D(mesh_side),
+        NetworkConfig(),
+        policy_obj,
+        sim,
+        recorder=recorder,
+        notification="router",
+    )
+    invariants = None
+    if with_invariants:
+        from repro.analysis.invariants import DebugInvariants
+
+        invariants = DebugInvariants(fabric).install()
+
+    n = fabric.topology.num_hosts
+    # Colliding flows: two columns funnel into the same destination column.
+    flows = [
+        HotSpotFlow(0, n - mesh_side + 1),
+        HotSpotFlow(mesh_side, n - mesh_side + 1),
+        HotSpotFlow(1, n - 1),
+    ]
+    schedule = BurstSchedule(on_s=1.5e-4, off_s=1.5e-4, repetitions=repetitions)
+    stop = schedule.end_time()
+    workload = HotSpotWorkload(
+        fabric,
+        flows,
+        rate_bps=1.2e9,
+        schedule=schedule,
+        stop_s=stop,
+        noise_hosts=range(n),
+        noise_rate_bps=3e7,
+        rng=streams.stream("noise"),
+        idle_rate_bps=2e8,
+    )
+    workload.start()
+    sim.run(until=stop + 4e-4)
+    if invariants is not None:
+        invariants.check()
+    return RunDigest(
+        seed=seed,
+        policy=policy,
+        events=trace.hexdigest(),
+        metrics=digest_metrics(fabric, recorder, policy_obj),
+        events_executed=sim.events_executed,
+        packets_delivered=fabric.data_packets_delivered,
+    )
+
+
+def check_determinism(
+    seed: int = 0,
+    runs: int = 2,
+    policy: str = "pr-drb",
+    mesh_side: int = 4,
+    repetitions: int = 3,
+) -> ReplayReport:
+    """Replay the scenario ``runs`` times with one seed; diff the digests."""
+    if runs < 2:
+        raise ValueError("need at least 2 runs to compare")
+    digests = tuple(
+        run_scenario(
+            seed=seed, policy=policy, mesh_side=mesh_side, repetitions=repetitions
+        )
+        for _ in range(runs)
+    )
+    return ReplayReport(runs=digests)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.analysis replay [--seed N] [--runs K]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis replay",
+        description="Seeded-replay determinism harness: run a small mesh "
+        "PR-DRB scenario repeatedly and diff event/metric digests.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument("--policy", default="pr-drb")
+    parser.add_argument("--mesh-side", type=int, default=4)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    if args.runs < 2:
+        parser.error("--runs must be at least 2 to compare digests")
+
+    report = check_determinism(
+        seed=args.seed, runs=args.runs, policy=args.policy, mesh_side=args.mesh_side
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for i, run in enumerate(report.runs):
+            print(
+                f"run {i}: events={run.events[:16]}… metrics={run.metrics[:16]}… "
+                f"({run.events_executed} events, {run.packets_delivered} delivered)"
+            )
+        verdict = "DETERMINISTIC" if report.deterministic else "NON-DETERMINISTIC"
+        print(f"{verdict}: seed={args.seed} policy={args.policy} runs={args.runs}")
+    return 0 if report.deterministic else 1

@@ -17,6 +17,7 @@ import numpy as np
 from repro.apps.grids import Grid3D
 from repro.mpi.events import Allreduce, Bcast, Compute, Irecv, Send, Wait
 from repro.mpi.trace import Trace
+from repro.sim.rng import seeded_generator
 
 _COMPUTE_S = 25e-6
 
@@ -51,10 +52,12 @@ def lammps_chain_trace(
     iterations: int = 6,
     message_bytes: int = 2048,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> Trace:
     """Chain benchmark: 6 face neighbours + 1 far partner, TDC ~ 7."""
     grid = Grid3D(num_ranks, periodic=True)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = seeded_generator(seed)
     trace = Trace(
         f"lammps-chain.{num_ranks}",
         num_ranks,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.grids import Grid2D
 from repro.mpi.events import Allreduce, Barrier, Bcast, Compute, Irecv, Send, Waitall
 from repro.mpi.trace import Trace
+from repro.sim.rng import seeded_generator
 
 _COMPUTE_S = 15e-6
 
@@ -43,10 +44,12 @@ def pop_trace(
     solver_iterations: int = 6,
     halo_bytes: int = 1536,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> Trace:
     """One ocean time-step = baroclinic halos + barotropic CG solver."""
     grid = Grid2D(num_ranks, periodic=True)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = seeded_generator(seed)
     trace = Trace(
         f"pop.{num_ranks}",
         num_ranks,

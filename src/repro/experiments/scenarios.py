@@ -873,11 +873,10 @@ ALL_SCENARIOS = {
 
 def _build_hotspot_fabric(policy, scale: Scale, seed: int = 0):
     """One hot-spot run against an explicit policy instance."""
-    import numpy as np  # noqa: F811 - local for clarity
-
     from repro.metrics.recorder import StatsRecorder
     from repro.network.fabric import Fabric
     from repro.sim.engine import Simulator
+    from repro.sim.rng import seeded_generator
     from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
 
     sim = Simulator()
@@ -895,7 +894,7 @@ def _build_hotspot_fabric(policy, scale: Scale, seed: int = 0):
         stop_s=schedule.end_time(),
         noise_hosts=range(64),
         noise_rate_bps=HOTSPOT_NOISE_MBPS * 1e6,
-        rng=np.random.default_rng(seed),
+        rng=seeded_generator(seed),
         idle_rate_bps=HOTSPOT_IDLE_MBPS * 1e6,
     )
     workload.start()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sim.rng import seeded_generator
 from repro.topology.base import Topology
 
 
@@ -28,12 +29,21 @@ def linear_mapping(num_ranks: int, topology: Topology) -> list[int]:
 
 
 def random_mapping(
-    num_ranks: int, topology: Topology, seed: int = 0
+    num_ranks: int,
+    topology: Topology,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> list[int]:
-    """A seeded random placement over all hosts."""
+    """A seeded random placement over all hosts.
+
+    Pass ``rng`` (e.g. a :class:`~repro.sim.rng.RandomStreams` stream) to
+    tie the permutation to an experiment's stream family; the seed-based
+    default stays bit-compatible with earlier releases.
+    """
     if num_ranks > topology.num_hosts:
         raise ValueError("more ranks than hosts")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = seeded_generator(seed)
     hosts = rng.permutation(topology.num_hosts)[:num_ranks]
     return [int(h) for h in hosts]
 

@@ -21,6 +21,7 @@ from repro.core.selection import select_msp
 from repro.core.thresholds import Thresholds, Zone
 from repro.network.packet import ContendingFlow, Packet
 from repro.routing.base import RoutingPolicy
+from repro.sim.rng import seeded_generator
 from repro.topology.base import Path
 
 
@@ -105,10 +106,16 @@ class DRBPolicy(RoutingPolicy):
     name = "drb"
     wants_acks = True
 
-    def __init__(self, config: DRBConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: DRBConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         super().__init__()
         self.config = config or DRBConfig()
-        self._rng = np.random.default_rng(self.config.seed)
+        # An injected generator (e.g. a RandomStreams stream) wins; the
+        # default stays bit-compatible with the historical per-policy seed.
+        self._rng = rng if rng is not None else seeded_generator(self.config.seed)
         self.flows: dict[tuple[int, int], FlowState] = {}
         # Counters for the evaluation reports.
         self.expansions = 0

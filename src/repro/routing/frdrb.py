@@ -29,8 +29,13 @@ class FRDRBConfig(PRDRBConfig):
 class FRDRBPolicy(PRDRBPolicy):
     """DRB with watchdog-triggered opening; optionally predictive."""
 
-    def __init__(self, config: FRDRBConfig | None = None, predictive: bool = False) -> None:
-        super().__init__(config or FRDRBConfig())
+    def __init__(
+        self,
+        config: FRDRBConfig | None = None,
+        predictive: bool = False,
+        rng=None,
+    ) -> None:
+        super().__init__(config or FRDRBConfig(), rng=rng)
         self.predictive = predictive
         self.name = "pr-fr-drb" if predictive else "fr-drb"
         self.watchdog_fires = 0

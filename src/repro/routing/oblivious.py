@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.routing.base import RoutingPolicy
+from repro.sim.rng import seeded_generator
 from repro.topology.base import Path
 
 
@@ -18,10 +19,15 @@ class _MultipathOblivious(RoutingPolicy):
 
     wants_acks = False
 
-    def __init__(self, max_paths: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self,
+        max_paths: int = 4,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         super().__init__()
         self.max_paths = max_paths
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else seeded_generator(seed)
         self._candidates: dict[tuple[int, int], list[Path]] = {}
 
     def _paths(self, src: int, dst: int) -> list[Path]:
@@ -49,8 +55,13 @@ class CyclicPolicy(_MultipathOblivious):
 
     name = "cyclic"
 
-    def __init__(self, max_paths: int = 4, seed: int = 0) -> None:
-        super().__init__(max_paths=max_paths, seed=seed)
+    def __init__(
+        self,
+        max_paths: int = 4,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(max_paths=max_paths, seed=seed, rng=rng)
         self._next: dict[tuple[int, int], int] = {}
 
     def select_path(self, src: int, dst: int, size_bytes: int, now: float) -> tuple[Path, int]:

@@ -45,8 +45,12 @@ class PRDRBPolicy(DRBPolicy):
 
     name = "pr-drb"
 
-    def __init__(self, config: PRDRBConfig | None = None) -> None:
-        super().__init__(config or PRDRBConfig())
+    def __init__(
+        self,
+        config: PRDRBConfig | None = None,
+        rng=None,
+    ) -> None:
+        super().__init__(config or PRDRBConfig(), rng=rng)
         self.databases: dict[tuple[int, int], SolutionDatabase] = {}
         #: per-flow latency-trend detectors (only when trend_detection).
         self.trends: dict[tuple[int, int], TrendDetector] = {}

@@ -15,6 +15,9 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+#: Signature of :attr:`Simulator.event_hook` observers.
+EventHook = Callable[["Event"], None]
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (negative delays, past times)."""
@@ -59,6 +62,12 @@ class Simulator:
         self._events_executed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        #: optional observer called with each event just before its callback
+        #: runs (the clock has already advanced to the event's time).  Used
+        #: by :class:`repro.analysis.invariants.DebugInvariants` and the
+        #: :mod:`repro.analysis.replay` trace digests; ``None`` costs one
+        #: branch per event.
+        self.event_hook: Optional[EventHook] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -121,6 +130,8 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self.now = event.time
+                if self.event_hook is not None:
+                    self.event_hook(event)
                 event.fn(*event.args)
                 executed += 1
                 self._events_executed += 1
@@ -132,20 +143,38 @@ class Simulator:
         return executed
 
     def step(self) -> bool:
-        """Execute exactly one (non-cancelled) event; return False if empty."""
+        """Execute exactly one (non-cancelled) event; return False if empty.
+
+        Like :meth:`run`, respects :meth:`stop`: once a callback has
+        requested a stop, further ``step()`` calls execute nothing and
+        return False until :meth:`resume` (or a fresh :meth:`run`) clears
+        the flag.
+        """
+        if self._stopped:
+            return False
         while self._queue:
             event = heapq.heappop(self._queue)[3]
             if event.cancelled:
                 continue
             self.now = event.time
+            if self.event_hook is not None:
+                self.event_hook(event)
             event.fn(*event.args)
             self._events_executed += 1
             return True
         return False
 
     def stop(self) -> None:
-        """Request that :meth:`run` return after the current callback."""
+        """Request that :meth:`run` return after the current callback.
+
+        Also freezes :meth:`step` until :meth:`resume` or the next
+        :meth:`run` call (which resets the flag on entry).
+        """
         self._stopped = True
+
+    def resume(self) -> None:
+        """Clear a :meth:`stop` request so :meth:`step` executes again."""
+        self._stopped = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -160,8 +189,27 @@ class Simulator:
         """Total callbacks executed over the simulator's lifetime."""
         return self._events_executed
 
-    def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None when the queue is empty."""
+    def compact_head(self) -> int:
+        """Discard cancelled events from the head of the queue.
+
+        Cancelled events stay in the heap as placeholders until they
+        surface; this pops any that have reached the head so that
+        :attr:`pending` and :meth:`peek_time` reflect live work.  Returns
+        the number of placeholders discarded.  This is the *only* place
+        (besides execution itself) that removes entries from the calendar.
+        """
+        discarded = 0
         while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
+            discarded += 1
+        return discarded
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty.
+
+        Calls :meth:`compact_head` first, so cancelled placeholders at the
+        head are dropped — the observable clock/ordering semantics are
+        unaffected, but ``pending`` may decrease.
+        """
+        self.compact_head()
         return self._queue[0][0] if self._queue else None

@@ -24,7 +24,7 @@ class RandomStreams:
         gen = self._streams.get(name)
         if gen is None:
             # Independent child streams derived from (root seed, name).
-            seq = np.random.SeedSequence(self.seed, spawn_key=(_stable_hash(name),))
+            seq = np.random.SeedSequence(self.seed, spawn_key=(stable_hash(name),))
             gen = np.random.default_rng(seq)
             self._streams[name] = gen
         return gen
@@ -34,9 +34,33 @@ class RandomStreams:
         return RandomStreams(self.seed + offset)
 
 
-def _stable_hash(name: str) -> int:
-    """Deterministic 32-bit hash of a stream name (Python's hash is salted)."""
+def seeded_generator(seed: int = 0) -> np.random.Generator:
+    """The one sanctioned way to build a standalone seeded ``Generator``.
+
+    Components that cannot be handed a :class:`RandomStreams` (or that must
+    stay bit-compatible with the historical ``np.random.default_rng(seed)``
+    defaults) call this instead of reaching for ``numpy.random`` directly.
+    The ``no-ambient-rng`` lint (:mod:`repro.analysis`) forbids ambient
+    ``np.random.default_rng`` / ``random`` usage everywhere outside this
+    module, so every random draw in the simulator is traceable to an
+    explicit seed.
+    """
+    return np.random.default_rng(seed)
+
+
+def stable_hash(name: str) -> int:
+    """Deterministic 32-bit FNV-1a hash of a string.
+
+    Python's builtin ``hash()`` is salted per process (PYTHONHASHSEED), so
+    it must never feed stream derivation, congestion signatures, or any
+    other value that influences simulation behaviour — the
+    ``no-salted-hash`` lint enforces this.  Use this helper instead.
+    """
     value = 2166136261
     for byte in name.encode("utf-8"):
         value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
     return value
+
+
+#: Backwards-compatible alias (pre-analysis-subsystem name).
+_stable_hash = stable_hash

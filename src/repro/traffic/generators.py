@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.network.fabric import Fabric
+from repro.sim.rng import seeded_generator
 from repro.traffic.bursty import BurstSchedule
 from repro.traffic.patterns import TrafficPattern
 
@@ -140,7 +141,7 @@ class HotSpotWorkload:
             h for h in noise_hosts if all(h != f.src for f in self.flows)
         ]
         self.noise_rate_bps = noise_rate_bps
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else seeded_generator(0)
         self.message_bytes = message_bytes or fabric.config.packet_size_bytes
         self.interval_s = self.message_bytes * 8 / rate_bps
         self.messages_sent = 0

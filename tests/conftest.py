@@ -1,0 +1,35 @@
+"""Shared fixtures: runtime invariant checking for fabric tests."""
+
+import pytest
+
+from repro.analysis.invariants import DebugInvariants
+
+
+@pytest.fixture
+def invariants():
+    """Install :class:`DebugInvariants` on fabrics under test.
+
+    Usage::
+
+        def test_something(invariants):
+            fabric = ...
+            inv = invariants(fabric)
+            sim.run(until=...)
+            # teardown runs a final full check on every installed checker
+
+    Returns the installer; every checker it created runs one last
+    :meth:`~DebugInvariants.check` at teardown so invariant breakage
+    surfaces even if the test body never checks explicitly.
+    """
+    installed = []
+
+    def _install(fabric, check_interval_events: int = 32) -> DebugInvariants:
+        checker = DebugInvariants(
+            fabric, check_interval_events=check_interval_events
+        ).install()
+        installed.append(checker)
+        return checker
+
+    yield _install
+    for checker in installed:
+        checker.check()

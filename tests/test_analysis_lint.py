@@ -1,0 +1,273 @@
+"""Per-rule positive/negative fixtures for the determinism lints."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import ALL_RULES, lint_paths, lint_source
+
+
+def rules_hit(code, path="model.py", rules=None):
+    return {v.rule for v in lint_source(textwrap.dedent(code), path, rules=rules)}
+
+
+# ----------------------------------------------------------------------
+# no-ambient-rng
+# ----------------------------------------------------------------------
+def test_ambient_rng_flags_numpy_default_rng():
+    assert "no-ambient-rng" in rules_hit(
+        """
+        import numpy as np
+        rng = np.random.default_rng(7)
+        """
+    )
+
+
+def test_ambient_rng_flags_stdlib_random_import():
+    assert "no-ambient-rng" in rules_hit("import random\n")
+    assert "no-ambient-rng" in rules_hit("from random import shuffle\n")
+
+
+def test_ambient_rng_allows_injected_generator_and_helper():
+    clean = """
+        from repro.sim.rng import RandomStreams, seeded_generator
+
+        def build(streams: RandomStreams):
+            a = streams.stream("traffic")
+            b = seeded_generator(3)
+            return a, b
+        """
+    assert rules_hit(clean) == set()
+
+
+def test_ambient_rng_exempts_the_rng_module_itself():
+    source = "import numpy as np\ngen = np.random.default_rng(0)\n"
+    assert "no-ambient-rng" in rules_hit(source, path="src/repro/other.py")
+    assert "no-ambient-rng" not in rules_hit(source, path="src/repro/sim/rng.py")
+
+
+# ----------------------------------------------------------------------
+# no-wall-clock
+# ----------------------------------------------------------------------
+def test_wall_clock_flags_time_and_datetime():
+    assert "no-wall-clock" in rules_hit(
+        "import time\nstart = time.time()\n"
+    )
+    assert "no-wall-clock" in rules_hit(
+        "import time\nstart = time.perf_counter()\n"
+    )
+    assert "no-wall-clock" in rules_hit(
+        "import datetime\nnow = datetime.datetime.now()\n"
+    )
+    assert "no-wall-clock" in rules_hit("from time import perf_counter\n")
+
+
+def test_wall_clock_allows_simulation_clock():
+    assert rules_hit("def f(sim):\n    return sim.now\n") == set()
+    # `time` used as a variable name is not a wall-clock read.
+    assert rules_hit("def g(time):\n    return time + 1\n") == set()
+
+
+# ----------------------------------------------------------------------
+# no-salted-hash
+# ----------------------------------------------------------------------
+def test_salted_hash_flags_builtin_hash():
+    assert "no-salted-hash" in rules_hit('key = hash("flow")\n')
+
+
+def test_salted_hash_allows_stable_hash():
+    assert (
+        rules_hit(
+            "from repro.sim.rng import stable_hash\nkey = stable_hash('flow')\n"
+        )
+        == set()
+    )
+
+
+# ----------------------------------------------------------------------
+# no-unordered-iteration
+# ----------------------------------------------------------------------
+def test_unordered_iteration_flags_for_over_set():
+    assert "no-unordered-iteration" in rules_hit(
+        """
+        def f(paths):
+            pending = set(paths)
+            for p in pending:
+                handle(p)
+        """
+    )
+
+
+def test_unordered_iteration_flags_set_literal_and_materialisation():
+    assert "no-unordered-iteration" in rules_hit(
+        "for x in {1, 2, 3}:\n    print(x)\n"
+    )
+    assert "no-unordered-iteration" in rules_hit(
+        "def f(s):\n    flows = set(s)\n    return list(flows)\n"
+    )
+    assert "no-unordered-iteration" in rules_hit(
+        "def f(s):\n    flows = set(s)\n    return [x for x in flows]\n"
+    )
+
+
+def test_unordered_iteration_flags_dict_view_feeding_scheduler():
+    assert "no-unordered-iteration" in rules_hit(
+        """
+        def arm(sim, handlers):
+            for name, fn in handlers.items():
+                sim.schedule(0.0, fn)
+        """
+    )
+
+
+def test_unordered_iteration_allows_sorted_and_folds():
+    clean = """
+        def f(paths):
+            pending = set(paths)
+            for p in sorted(pending):
+                handle(p)
+            total = sum(pending)
+            k = len(pending)
+            top = max(pending)
+            return total, k, top
+        """
+    assert rules_hit(clean) == set()
+
+
+def test_unordered_iteration_allows_plain_dict_loop():
+    # Dict iteration is insertion-ordered, hence deterministic; only
+    # scheduling bodies are flagged.
+    assert (
+        rules_hit(
+            """
+            def f(d):
+                out = []
+                for k, v in d.items():
+                    out.append((k, v))
+                return out
+            """
+        )
+        == set()
+    )
+
+
+# ----------------------------------------------------------------------
+# no-float-eq
+# ----------------------------------------------------------------------
+def test_float_eq_flags_fractional_literal():
+    assert "no-float-eq" in rules_hit("ok = value == 0.5\n")
+    assert "no-float-eq" in rules_hit("ok = value != -2.5\n")
+
+
+def test_float_eq_flags_latency_vs_threshold():
+    assert "no-float-eq" in rules_hit(
+        "fire = flow.latency_s == thresholds.high_latency\n"
+    )
+
+
+def test_float_eq_allows_sentinels_and_orderings():
+    assert rules_hit("ok = t == -1.0\n") == set()
+    assert rules_hit("ok = t == 0.0\n") == set()
+    assert rules_hit("ok = latency_s > threshold_s\n") == set()
+    assert rules_hit("ok = count == 3\n") == set()
+
+
+# ----------------------------------------------------------------------
+# Suppression
+# ----------------------------------------------------------------------
+def test_allow_comment_suppresses_named_rule():
+    code = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)  # repro: allow(no-ambient-rng)\n"
+    )
+    assert rules_hit(code) == set()
+
+
+def test_allow_comment_is_rule_specific():
+    code = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)  # repro: allow(no-float-eq)\n"
+    )
+    assert "no-ambient-rng" in rules_hit(code)
+
+
+def test_allow_comment_handles_multiple_rules():
+    code = (
+        "x = hash('a') if v == 0.5 else 0  "
+        "# repro: allow(no-salted-hash, no-float-eq)\n"
+    )
+    assert rules_hit(code) == set()
+
+
+# ----------------------------------------------------------------------
+# Drivers & CLI
+# ----------------------------------------------------------------------
+def test_rule_selection_runs_only_requested_rules():
+    code = "import random\nx = hash('a')\n"
+    assert rules_hit(code, rules=["no-salted-hash"]) == {"no-salted-hash"}
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text("import random\n")
+    (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+    violations = lint_paths([str(tmp_path)])
+    assert len(violations) == 1
+    assert violations[0].rule == "no-ambient-rng"
+    assert violations[0].path.endswith("bad.py")
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=str(Path(__file__).resolve().parent.parent),
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exit_codes_and_json(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+
+    failing = _run_cli(str(bad), "--json")
+    assert failing.returncode == 1
+    payload = json.loads(failing.stdout)
+    assert payload["violations"][0]["rule"] == "no-ambient-rng"
+
+    passing = _run_cli(str(good))
+    assert passing.returncode == 0
+    assert "0 violations" in passing.stdout
+
+
+def test_cli_repo_is_clean():
+    result = _run_cli("src/")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_rule_catalogue_is_complete():
+    assert set(ALL_RULES) == {
+        "no-ambient-rng",
+        "no-wall-clock",
+        "no-salted-hash",
+        "no-unordered-iteration",
+        "no-float-eq",
+    }
+
+
+def test_syntax_error_raises():
+    with pytest.raises(SyntaxError):
+        lint_source("def broken(:\n", "broken.py")
+
+
+def test_cli_missing_path_is_an_error():
+    result = _run_cli("/no/such/dir")
+    assert result.returncode == 2
+    assert "no such file or directory" in result.stderr

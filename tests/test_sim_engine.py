@@ -142,3 +142,56 @@ def test_events_executed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_executed == 4
+
+
+def test_step_respects_stop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.step()
+    sim.stop()
+    assert sim.step() is False
+    assert fired == ["a"]
+    sim.resume()
+    assert sim.step() is True
+    assert fired == ["a", "b"]
+
+
+def test_stop_then_run_resumes_after_resume():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    sim.resume()
+    sim.run()
+    assert sim.now == 2.0
+
+
+def test_compact_head_discards_cancelled_prefix():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    b = sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    a.cancel()
+    b.cancel()
+    assert sim.pending == 3  # lazy: cancelled events stay queued
+    assert sim.compact_head() == 2
+    assert sim.pending == 1
+    assert sim.compact_head() == 0
+
+
+def test_peek_time_compacts_explicitly():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 5.0
+    # The documented side effect: the cancelled head is gone afterwards.
+    assert sim.pending == 1
+
+
+def test_peek_time_empty_queue():
+    sim = Simulator()
+    assert sim.peek_time() is None
