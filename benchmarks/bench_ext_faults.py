@@ -1,0 +1,10 @@
+"""Extension: fault-injection campaign resilience comparison."""
+
+from repro.experiments.config import FULL
+from repro.experiments.scenarios import ext_fault_resilience
+
+from conftest import run_scenario
+
+
+def bench_ext_fault_resilience(benchmark):
+    run_scenario(benchmark, ext_fault_resilience, FULL)

@@ -7,8 +7,11 @@ engine/fabric/routing stack must preserve:
 * **clock monotonicity** — event times never run backwards (checked on
   every executed event via :attr:`Simulator.event_hook`);
 * **packet conservation** — every injected data packet is delivered,
-  dropped, or still in flight (in the calendar or a VC queue); nothing is
-  silently lost or double-counted;
+  dropped (see ``Fabric.dropped_by_reason``), or still in flight (in the
+  calendar or a VC queue); nothing is silently lost or double-counted.
+  Retransmitted copies from :class:`~repro.faults.recovery.ReliableTransport`
+  each count as their own injected packet, so the ledger balances per wire
+  copy even under fault injection;
 * **buffer credits** — per-port occupancy equals the queued bytes and
   never goes negative (the credit view: free space never exceeds the
   buffer size);
@@ -17,7 +20,9 @@ engine/fabric/routing stack must preserve:
   replayed solution), only *closes* them in L, keeps the open-path count
   within ``[1, max_paths]``, and classifies zones consistently with the
   thresholds.  Fault rerouting (failed links) is exempt from the zone
-  gates — the FT behaviour legitimately reopens paths regardless of zone.
+  gates — the FT behaviour legitimately reopens paths regardless of zone,
+  and ``Metapath.prune`` (closing MSPs that cross dead links) is checked
+  only against the ``[1, max_paths]`` bound.
 
 Checks that scan state (conservation, credits) run every
 ``check_interval_events`` events; the per-event clock check is O(1).
@@ -227,6 +232,7 @@ class DebugInvariants:
         original_expand = metapath.expand
         original_shrink = metapath.shrink
         original_apply = metapath.apply_solution
+        original_prune = metapath.prune
 
         def expand():
             if fs.zone is not Zone.HIGH and not self.fabric.failed_links:
@@ -258,9 +264,17 @@ class DebugInvariants:
             original_apply(indices)
             self._check_metapath_bounds(fs, metapath)
 
+        def prune(dead_indices):
+            # Pruning is a fault reaction, not a zone transition, so no
+            # zone-legality gate — only the [1, max_paths] bound applies.
+            result = original_prune(dead_indices)
+            self._check_metapath_bounds(fs, metapath)
+            return result
+
         metapath.expand = expand
         metapath.shrink = shrink
         metapath.apply_solution = apply_solution
+        metapath.prune = prune
 
     def _check_metapath_bounds(self, fs, metapath) -> None:
         if not 1 <= metapath.active_count <= metapath.max_paths:

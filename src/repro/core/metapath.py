@@ -108,6 +108,23 @@ class Metapath:
         self.active_count = len(self._active)
         return True
 
+    def prune(self, dead_indices) -> int:
+        """Deactivate the given MSPs (fault reaction: their paths cross a
+        dead link).  Unlike :meth:`shrink` this may close the original
+        path too; when *every* active path is dead the metapath falls back
+        to the original minimal path — the fabric then accounts the drops
+        until the link recovers.  Returns the number of paths closed."""
+        doomed = {i for i in dead_indices if 0 <= i < self.max_paths}
+        if not doomed:
+            return 0
+        survivors = [i for i in self._active if i not in doomed]
+        closed = len(self._active) - len(survivors)
+        if not survivors:
+            survivors = [0]
+        self._active = survivors
+        self.active_count = len(survivors)
+        return closed
+
     # ------------------------------------------------------------------
     # PR-DRB solution reuse (§3.2.8)
     # ------------------------------------------------------------------

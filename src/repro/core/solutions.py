@@ -56,6 +56,8 @@ class SolutionDatabase:
     #: counters surfaced by the evaluation (patterns found / re-applied).
     lookups: int = 0
     hits: int = 0
+    #: solutions forgotten because a saved path crossed a dead link.
+    invalidated: int = 0
 
     def save(
         self,
@@ -105,6 +107,27 @@ class SolutionDatabase:
             best.reuse_count += 1
             return best
         return None
+
+    def invalidate(self, path_is_alive) -> int:
+        """Forget solutions whose saved path set crosses a dead link.
+
+        ``path_is_alive(msp_index) -> bool`` judges each saved MSP index;
+        a solution survives only if every path it would open is alive.
+        Re-applying a dead configuration would steer a recurring pattern
+        straight back into the fault, so the flow must relearn instead.
+        Returns the number of solutions removed.
+        """
+        keep = []
+        removed = 0
+        for sol in self.solutions:
+            if all(path_is_alive(i) for i in sol.path_indices):
+                keep.append(sol)
+            else:
+                removed += 1
+        if removed:
+            self.solutions = keep
+            self.invalidated += removed
+        return removed
 
     def _best_match(self, signature: FlowSignature) -> tuple[SavedSolution | None, float]:
         measure = _SIMILARITIES[self.similarity]

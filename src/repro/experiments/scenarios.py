@@ -1282,3 +1282,73 @@ def ext_slim_network_footprint(scale: Scale = QUICK) -> ExperimentResult:
 
 
 ALL_SCENARIOS["ext_slimtree"] = ext_slim_network_footprint
+
+
+def ext_fault_resilience(scale: Scale = QUICK) -> ExperimentResult:
+    """§3.3.2: metapath redundancy doubles as fault tolerance.
+
+    Runs the seeded fault campaign (transient link flaps on the hottest
+    flow's primary route + 10% ACK loss, reliable transport installed)
+    once per policy and compares resilience metrics.  The thesis argues
+    DRB's alternative MSPs give fault tolerance "for free"; here the
+    deterministic baseline must burn its retry budget against the dead
+    link while the DRB family prunes it and retransmits around.
+    """
+    import math
+
+    from repro.faults.campaign import (
+        DEFAULT_POLICIES,
+        FaultCampaignSpec,
+        run_fault_campaign,
+    )
+
+    result = ExperimentResult(
+        "EXT-faults",
+        "Delivered-under-fault ratio and recovery cost per policy",
+        "DRB-family multipath tolerates link faults that defeat single-path "
+        "deterministic routing; PR-DRB recovers with the least overhead.",
+    )
+    spec = FaultCampaignSpec(
+        seed=scale.seeds[0], repetitions=min(scale.repetitions, 4)
+    )
+    runs = run_fault_campaign(DEFAULT_POLICIES, spec)
+    ratios: dict[str, float] = {}
+    for policy in DEFAULT_POLICIES:
+        report = runs[policy].report
+        ratios[policy] = report.delivered_ratio
+        result.rows.append(
+            {
+                "policy": policy,
+                "delivered_ratio": round(report.delivered_ratio, 3),
+                "mttr_us": round(report.mttr_s * 1e6, 1),
+                "retx_overhead": round(report.retransmission_overhead, 3),
+                "abandoned": report.abandoned,
+                "recovery_latency_us": round(
+                    report.mean_recovery_latency_s * 1e6, 1
+                ),
+                "paths_pruned": report.paths_pruned,
+            }
+        )
+        result.check(
+            f"{policy}: delivers under faults",
+            report.delivered_ratio > 0,
+        )
+        result.check(
+            f"{policy}: MTTR finite (faults were repaired)",
+            report.failures > 0 and math.isfinite(report.mttr_s),
+        )
+    result.check(
+        "pr-drb delivered ratio >= deterministic's",
+        ratios["pr-drb"] >= ratios["deterministic"],
+    )
+    result.check(
+        "multipath policies prune dead MSPs",
+        all(
+            runs[p].report.paths_pruned > 0
+            for p in ("drb", "pr-drb", "fr-drb")
+        ),
+    )
+    return result
+
+
+ALL_SCENARIOS["ext_faults"] = ext_fault_resilience

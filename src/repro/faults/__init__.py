@@ -1,0 +1,61 @@
+"""Fault injection and end-to-end recovery (`repro.faults`).
+
+The thesis positions DRB-family metapath redundancy as implicit fault
+tolerance (§3.3.2); this package makes that claim testable:
+
+* :mod:`repro.faults.models` — declarative fault models: scheduled and
+  stochastic (MTBF/MTTR) transient link flaps, permanent link/router
+  kills, degraded links, ACK/notification loss and delay;
+* :mod:`repro.faults.injector` — drives models as simulator events on a
+  fabric and logs fail/restore episodes for MTTR;
+* :mod:`repro.faults.recovery` — NIC-level reliable transport:
+  sequence numbers, retransmission with capped exponential backoff,
+  duplicate suppression;
+* :mod:`repro.faults.metrics` — resilience metrics (delivered-under-
+  fault ratio, MTTR, retransmission overhead, recovery latency);
+* :mod:`repro.faults.campaign` — the seeded campaign runner comparing
+  routing policies under one fault schedule, digested by the replay
+  harness.
+
+CLI: ``python -m repro.faults`` runs a small campaign and exits nonzero
+unless every policy keeps a nonzero delivered-under-fault ratio.
+"""
+
+from repro.faults.campaign import (
+    FaultCampaignSpec,
+    FaultRunResult,
+    run_fault_campaign,
+    run_fault_scenario,
+    sweep_ack_loss,
+)
+from repro.faults.injector import FaultEpisode, FaultInjector
+from repro.faults.metrics import ResilienceReport, render_reports, resilience_report
+from repro.faults.models import (
+    AckLoss,
+    DegradedLink,
+    LinkFlap,
+    LinkKill,
+    RouterKill,
+    StochasticLinkFlaps,
+)
+from repro.faults.recovery import ReliableTransport
+
+__all__ = [
+    "AckLoss",
+    "DegradedLink",
+    "FaultCampaignSpec",
+    "FaultEpisode",
+    "FaultInjector",
+    "FaultRunResult",
+    "LinkFlap",
+    "LinkKill",
+    "ReliableTransport",
+    "ResilienceReport",
+    "RouterKill",
+    "StochasticLinkFlaps",
+    "render_reports",
+    "resilience_report",
+    "run_fault_campaign",
+    "run_fault_scenario",
+    "sweep_ack_loss",
+]

@@ -1,0 +1,132 @@
+"""Resilience metrics: what fault-injection campaigns measure.
+
+Four quantities summarize how a policy + recovery stack rides out
+faults:
+
+* **delivered-under-fault ratio** — unique (logical) packets delivered /
+  logical packets offered.  With a reliable transport this is measured
+  against logical packets, not wire copies, so retransmissions don't
+  inflate the denominator.
+* **MTTR** — mean time to repair over the injector's closed fault
+  episodes (the fault process's own property; reported so ratios can be
+  read against how long links actually stayed dark).
+* **retransmission overhead** — retransmitted copies / logical packets.
+* **recovery latency** — mean first-send -> ACK latency of packets that
+  needed at least one retransmission (how long a fault stretched the
+  affected packets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ResilienceReport", "render_reports", "resilience_report"]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Resilience summary of one run (one policy, one seed)."""
+
+    policy: str
+    logical_packets: int
+    delivered: int
+    delivered_ratio: float
+    mttr_s: float
+    failures: int
+    retransmissions: int
+    retransmission_overhead: float
+    recovered: int
+    abandoned: int
+    mean_recovery_latency_s: float
+    dropped_by_reason: dict = field(default_factory=dict)
+    watchdog_fires: int = 0
+    paths_pruned: int = 0
+    solutions_invalidated: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "logical_packets": self.logical_packets,
+            "delivered": self.delivered,
+            "delivered_ratio": self.delivered_ratio,
+            "mttr_s": self.mttr_s,
+            "failures": self.failures,
+            "retransmissions": self.retransmissions,
+            "retransmission_overhead": self.retransmission_overhead,
+            "recovered": self.recovered,
+            "abandoned": self.abandoned,
+            "mean_recovery_latency_s": self.mean_recovery_latency_s,
+            "dropped_by_reason": dict(self.dropped_by_reason),
+            "watchdog_fires": self.watchdog_fires,
+            "paths_pruned": self.paths_pruned,
+            "solutions_invalidated": self.solutions_invalidated,
+        }
+
+
+def resilience_report(fabric, transport=None, injector=None) -> ResilienceReport:
+    """Assemble a :class:`ResilienceReport` from a finished run.
+
+    ``transport`` and ``injector`` are optional: without a transport the
+    ratio falls back to wire-level delivered/injected; without an
+    injector MTTR is 0 (no faults were driven).
+    """
+    if transport is not None:
+        logical = transport.logical_packets
+        retransmissions = transport.retransmissions
+        recovered = transport.recovered
+        abandoned = transport.abandoned
+        latencies = transport.recovery_latencies_s
+    else:
+        logical = fabric.data_packets_injected
+        retransmissions = 0
+        recovered = 0
+        abandoned = 0
+        latencies = []
+    delivered = fabric.data_packets_delivered
+    ratio = delivered / logical if logical else 1.0
+    overhead = retransmissions / logical if logical else 0.0
+    mean_recovery = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    if injector is not None:
+        mttr = injector.mttr_s()
+        failures = injector.failures
+    else:
+        mttr = 0.0
+        failures = 0
+    stats = fabric.policy.stats()
+    return ResilienceReport(
+        policy=fabric.policy.name,
+        logical_packets=logical,
+        delivered=delivered,
+        delivered_ratio=ratio,
+        mttr_s=mttr,
+        failures=failures,
+        retransmissions=retransmissions,
+        retransmission_overhead=overhead,
+        recovered=recovered,
+        abandoned=abandoned,
+        mean_recovery_latency_s=mean_recovery,
+        dropped_by_reason=dict(fabric.dropped_by_reason),
+        watchdog_fires=int(stats.get("watchdog_fires", 0)),
+        paths_pruned=int(stats.get("paths_pruned", 0)),
+        solutions_invalidated=int(stats.get("solutions_invalidated", 0)),
+    )
+
+
+def render_reports(reports: list[ResilienceReport]) -> str:
+    """Plain-text comparison table over several policies' reports."""
+    header = (
+        f"{'policy':<14} {'delivered':>9} {'ratio':>7} {'mttr_us':>8} "
+        f"{'retx':>5} {'recovered':>9} {'abandoned':>9} {'rec_lat_us':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        mttr = "inf" if math.isinf(r.mttr_s) else f"{r.mttr_s * 1e6:.1f}"
+        lines.append(
+            f"{r.policy:<14} {r.delivered:>9} {r.delivered_ratio:>7.3f} "
+            f"{mttr:>8} {r.retransmissions:>5} {r.recovered:>9} "
+            f"{r.abandoned:>9} {r.mean_recovery_latency_s * 1e6:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -71,6 +71,8 @@ class StatsRecorder:
         )
         self.packets_delivered = 0
         self.packets_injected = 0
+        self.packets_dropped = 0
+        self.drops_by_reason: dict[str, int] = {}
         self.latencies: list[float] = []
         self.first_delivery_t: float | None = None
         self.last_delivery_t: float = 0.0
@@ -95,6 +97,10 @@ class StatsRecorder:
             self.first_delivery_t = now
         self.last_delivery_t = now
 
+    def on_data_dropped(self, packet, reason: str, now: float) -> None:
+        self.packets_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
     def _on_router_wait(self, router_id: int, now: float, wait_s: float) -> None:
         self.router_series[router_id].add(now, wait_s)
 
@@ -115,10 +121,17 @@ class StatsRecorder:
         return float(np.percentile(self.latencies, q)) if self.latencies else 0.0
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "packets_injected": self.packets_injected,
             "packets_delivered": self.packets_delivered,
             "mean_latency_s": self.mean_latency_s,
             "global_average_latency_s": self.global_average_latency_s,
             "p99_latency_s": self.latency_percentile(99),
         }
+        if self.packets_dropped:
+            summary["packets_dropped"] = self.packets_dropped
+            summary["drops_by_reason"] = {
+                reason: self.drops_by_reason[reason]
+                for reason in sorted(self.drops_by_reason)
+            }
+        return summary

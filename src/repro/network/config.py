@@ -91,6 +91,44 @@ class NetworkConfig:
         return size_bytes * 8 / self.link_bandwidth_bps
 
 
+@dataclass
+class ReliabilityConfig:
+    """End-to-end recovery parameters (NIC retransmission protocol).
+
+    The paper's fabric is lossless under congestion but loses packets to
+    link faults (§3.3.2); this protocol restores delivery: per-flow
+    sequence numbers, a retransmission timer with capped exponential
+    backoff, and destination-side duplicate suppression.
+    """
+
+    #: base retransmission timeout, seconds.  Should exceed one data
+    #: round-trip (path serialization + ACK return) on the target network.
+    retx_timeout_s: float = 60e-6
+    #: multiplicative backoff applied per retry.
+    backoff_factor: float = 2.0
+    #: ceiling on the (backed-off) retransmission timeout, seconds.
+    max_backoff_s: float = 1e-3
+    #: retransmission attempts before the transport gives up on a packet.
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.retx_timeout_s <= 0:
+            raise ValueError("retx_timeout_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_s < self.retx_timeout_s:
+            raise ValueError("max_backoff_s must be >= retx_timeout_s")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def timeout_for(self, retries: int) -> float:
+        """Backed-off timeout for a packet already retried ``retries`` times."""
+        return min(
+            self.retx_timeout_s * self.backoff_factor**retries,
+            self.max_backoff_s,
+        )
+
+
 def paper_mesh_config() -> NetworkConfig:
     """Table 4.2 parameters (hot-spot experiments on the 8x8 mesh)."""
     return NetworkConfig()

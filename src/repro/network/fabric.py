@@ -38,6 +38,16 @@ from repro.topology.base import Topology
 DESTINATION_BASED = "destination"
 ROUTER_BASED = "router"
 
+#: drop-accounting reasons (``Fabric.dropped_by_reason`` keys).
+DROP_LINK_DOWN = "link_down"
+DROP_NO_ROUTE = "no_route"
+DROP_ACK_LOSS = "ack_loss"
+DROP_DUPLICATE = "duplicate"
+
+
+class QuiesceTimeout(RuntimeError):
+    """`Fabric.quiesce` deadline passed with traffic still in flight."""
+
 
 class _IdlePort:
     """Sentinel for ports that have never been used (always free)."""
@@ -87,9 +97,19 @@ class Fabric:
         self.acks_delivered = 0
         self.predictive_acks_delivered = 0
         # Fault injection (the FT-DRB capability the router design shares,
-        # §3.3.2): failed router-to-router links and drop accounting.
+        # §3.3.2): failed router-to-router links, degraded links with
+        # elevated propagation delay, and reasoned drop accounting.
         self.failed_links: set[frozenset] = set()
-        self.packets_dropped = 0
+        self.degraded_links: dict[frozenset, float] = {}
+        self.dropped_by_reason: dict[str, int] = {}
+        #: optional hook consulted before any packet enters the network:
+        #: ``fn(packet, now) -> None | ("drop", reason) | ("delay", s)``.
+        #: Installed by :class:`repro.faults.injector.FaultInjector` to
+        #: model ACK/notification loss and delay.
+        self.fault_filter = None
+        #: optional end-to-end recovery protocol
+        #: (:class:`repro.faults.recovery.ReliableTransport`).
+        self.transport = None
         policy.attach(self)
         if recorder is not None:
             recorder.attach(self)
@@ -144,22 +164,71 @@ class Fabric:
         return fragments
 
     def inject(self, packet: Packet) -> None:
-        """Serialize ``packet`` out of its source host onto the first router."""
+        """Serialize ``packet`` out of its source host onto the first router.
+
+        The fault filter (when installed) may drop or delay the packet at
+        the injection point — this is how ACK/notification loss and delay
+        faults are modelled without touching the event chain itself.
+        """
+        if self.fault_filter is not None:
+            action = self.fault_filter(packet, self.sim.now)
+            if action is not None:
+                kind, value = action
+                if kind == "drop":
+                    self._drop(packet, value)
+                    return
+                self.sim.schedule(value, self._inject, packet)
+                return
+        self._inject(packet)
+
+    def _inject(self, packet: Packet) -> None:
         node = self.nodes[packet.src]
         exit_time = node.serialize(packet, self.sim.now)
         if packet.kind == DATA:
             self.data_packets_injected += 1
             if self.recorder is not None:
                 self.recorder.on_data_injected(packet, self.sim.now)
+            if self.transport is not None:
+                self.transport.on_inject(packet, self.sim.now)
         self.sim.schedule_at(
             exit_time + self.config.link_delay_s, self._arrive, packet
         )
+
+    # ------------------------------------------------------------------
+    # Drop accounting
+    # ------------------------------------------------------------------
+    @property
+    def packets_dropped(self) -> int:
+        """Total drops of any packet kind (sum over ``dropped_by_reason``)."""
+        return sum(self.dropped_by_reason.values())
+
+    def _drop(self, packet: Packet, reason: str, notify: bool = True) -> None:
+        """Account a dropped packet and fan the NACK out to the learning
+        layers: the routing policy prunes dead paths first, then the
+        reliable transport (when installed) schedules a retransmission
+        over the pruned metapath."""
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+        if self.recorder is not None and packet.kind == DATA:
+            on_dropped = getattr(self.recorder, "on_data_dropped", None)
+            if on_dropped is not None:
+                on_dropped(packet, reason, self.sim.now)
+        if not notify:
+            return
+        self.policy.on_drop(packet, reason, self.sim.now)
+        if self.transport is not None and packet.kind == DATA:
+            self.transport.on_nack(packet, self.sim.now)
 
     # ------------------------------------------------------------------
     # Per-router forwarding
     # ------------------------------------------------------------------
     def _arrive(self, packet: Packet) -> None:
         now = self.sim.now
+        if self.failed_links and not self._crossed_link_alive(packet):
+            # The link died while the packet was on the wire: a fault is
+            # not a routing decision, so packets already committed to the
+            # link are lost too (satellite of §3.3.2's dynamic fault model).
+            self._drop(packet, DROP_LINK_DOWN)
+            return
         if getattr(self.policy, "per_hop", False) and packet.kind == DATA:
             self._arrive_adaptive(packet, now)
             return
@@ -178,10 +247,11 @@ class Fabric:
             if self.failed_links and not self.link_alive(
                 packet.current_router, next_router
             ):
-                # A failed link drops the packet: lossless recovery is the
-                # routing policy's job (alternative paths avoid the fault;
-                # FR-DRB's watchdog notices the missing ACK).
-                self.packets_dropped += 1
+                # A failed link drops the packet: recovery is the routing
+                # policy's job (alternative paths avoid the fault; FR-DRB's
+                # watchdog notices the missing ACK) plus, when installed,
+                # the reliable transport's (retransmission).
+                self._drop(packet, DROP_LINK_DOWN)
                 return
             port = router.port_to("router", next_router)
             if self._stalled(router, port, packet, now):
@@ -189,8 +259,16 @@ class Fabric:
             depart = router.forward(packet, port, now)
             packet.hop += 1
             self.sim.schedule_at(
-                depart + self.config.link_delay_s, self._arrive, packet
+                depart + self.link_delay(packet.path[packet.hop - 1], next_router),
+                self._arrive,
+                packet,
             )
+
+    def _crossed_link_alive(self, packet: Packet) -> bool:
+        """Is the link this packet just traversed still up on arrival?"""
+        if packet.hop == 0 or packet.hop >= len(packet.path):
+            return True  # host injection link; faults model router links
+        return self.link_alive(packet.path[packet.hop - 1], packet.path[packet.hop])
 
     def _stalled(self, router: Router, port: OutputPort, packet: Packet, now: float) -> bool:
         """On/Off flow control: hold the packet upstream until the full
@@ -223,14 +301,16 @@ class Fabric:
         if self.failed_links and not self.link_alive(
             packet.current_router, next_router
         ):
-            self.packets_dropped += 1
+            self._drop(packet, DROP_LINK_DOWN)
             return
         port = router.port_to("router", next_router)
 
         def served_router(pkt: Packet, depart: float) -> None:
             pkt.hop += 1
             self.sim.schedule_at(
-                depart + self.config.link_delay_s, self._arrive, pkt
+                depart + self.link_delay(pkt.path[pkt.hop - 1], pkt.path[pkt.hop]),
+                self._arrive,
+                pkt,
             )
 
         self._vc.submit(router, port, packet, now, served_router)
@@ -253,8 +333,10 @@ class Fabric:
             )
             return
         choices = self.topology.minimal_next_hops(current, dst_router)
-        if not choices:  # disconnected (should not happen on live fabrics)
-            self.packets_dropped += 1
+        if self.failed_links:
+            choices = [nb for nb in choices if self.link_alive(current, nb)]
+        if not choices:  # disconnected: no live minimal next hop remains
+            self._drop(packet, DROP_NO_ROUTE)
             return
         next_router = min(
             choices,
@@ -265,7 +347,7 @@ class Fabric:
         packet.path = packet.path + (next_router,)
         packet.hop += 1
         self.sim.schedule_at(
-            depart + self.config.link_delay_s, self._arrive, packet
+            depart + self.link_delay(current, next_router), self._arrive, packet
         )
 
     # ------------------------------------------------------------------
@@ -274,20 +356,37 @@ class Fabric:
     def _deliver(self, packet: Packet) -> None:
         now = self.sim.now
         if packet.kind == DATA:
+            if not self.nodes[packet.dst].first_delivery(packet.src, packet.retx_seq):
+                # A duplicate copy (original + retransmit both survived).
+                # Suppress it, but re-ACK so the source stops retrying —
+                # the first copy's ACK may have been the casualty.
+                self._drop(packet, DROP_DUPLICATE, notify=False)
+                if self._acks_enabled():
+                    self._send_ack(packet, now)
+                return
             self.data_packets_delivered += 1
             self.data_bytes_delivered += packet.size_bytes
             latency = now - packet.created_at
             if self.recorder is not None:
                 self.recorder.on_data_delivered(packet, latency, now)
             self.nodes[packet.dst].receive(packet, now)
-            if self.config.send_acks and self.policy.wants_acks:
+            if self._acks_enabled():
                 self._send_ack(packet, now)
         elif packet.kind == ACK:
             self.acks_delivered += 1
             self.policy.on_ack(packet, now)
+            if self.transport is not None:
+                self.transport.on_ack(packet, now)
         elif packet.kind == PREDICTIVE_ACK:
             self.predictive_acks_delivered += 1
             self.policy.on_predictive_ack(packet, now)
+
+    def _acks_enabled(self) -> bool:
+        # The reliable transport needs ACKs even under policies that do
+        # not learn from them (e.g. deterministic routing).
+        return self.config.send_acks and (
+            self.policy.wants_acks or self.transport is not None
+        )
 
     def _send_ack(self, data: Packet, now: float) -> None:
         reverse = tuple(reversed(data.path))
@@ -332,6 +431,17 @@ class Fabric:
                 now=now,
             )
             # Routers inject in place: the packet starts at this router.
+            # Notification faults apply here too (a predictive ACK is a
+            # notification packet, even though it skips host injection).
+            if self.fault_filter is not None:
+                action = self.fault_filter(pack, now)
+                if action is not None:
+                    kind, value = action
+                    if kind == "drop":
+                        self._drop(pack, value)
+                    else:
+                        self.sim.schedule(value, self._arrive, pack)
+                    continue
             self.sim.schedule_at(now, self._arrive, pack)
         return True
 
@@ -350,6 +460,27 @@ class Fabric:
 
     def link_alive(self, a: int, b: int) -> bool:
         return frozenset((a, b)) not in self.failed_links
+
+    def degrade_link(self, a: int, b: int, extra_delay_s: float) -> None:
+        """Add ``extra_delay_s`` of propagation delay to router link a<->b
+        (a degraded-but-alive link: flaky optics, retraining lanes)."""
+        if b not in self.topology.router_neighbors(a):
+            raise ValueError(f"routers {a} and {b} are not adjacent")
+        if extra_delay_s < 0:
+            raise ValueError("extra_delay_s must be >= 0")
+        self.degraded_links[frozenset((a, b))] = extra_delay_s
+
+    def restore_link_quality(self, a: int, b: int) -> None:
+        """Clear a degradation set by :meth:`degrade_link`."""
+        self.degraded_links.pop(frozenset((a, b)), None)
+
+    def link_delay(self, a: int, b: int) -> float:
+        """Propagation delay of router link a<->b, degradation included."""
+        if not self.degraded_links:
+            return self.config.link_delay_s
+        return self.config.link_delay_s + self.degraded_links.get(
+            frozenset((a, b)), 0.0
+        )
 
     def path_alive(self, path) -> bool:
         """True when no hop of ``path`` crosses a failed link."""
@@ -375,6 +506,51 @@ class Fabric:
         return self.data_packets_delivered / self.data_packets_injected
 
     def quiesce(self, timeout: float = 1.0) -> None:
-        """Run the simulator until all in-flight packets drain."""
+        """Run the simulator until all in-flight packets drain.
+
+        Raises :class:`QuiesceTimeout` when the deadline passes with
+        packets still in flight (or retransmissions still pending), with a
+        diagnostic listing the stuck packets and per-flow outstanding
+        counts — a silent return here hides livelocks and leaks.
+        """
         deadline = self.sim.now + timeout
         self.sim.run(until=deadline)
+        in_flight = self._in_flight_packets()
+        pending_retx = (
+            self.transport.pending_by_flow() if self.transport is not None else {}
+        )
+        if not in_flight and not pending_retx:
+            return
+        lines = [
+            f"network failed to quiesce within {timeout:.3e}s "
+            f"(now={self.sim.now:.6e}s): {len(in_flight)} packets in "
+            f"flight, {sum(pending_retx.values())} retransmissions pending"
+        ]
+        for packet in in_flight[:10]:
+            lines.append(f"  in flight: {packet!r}")
+        if len(in_flight) > 10:
+            lines.append(f"  ... and {len(in_flight) - 10} more")
+        outstanding = {
+            key: fs.outstanding
+            for key, fs in getattr(self.policy, "flows", {}).items()
+            if fs.outstanding > 0
+        }
+        for (src, dst), count in sorted(outstanding.items()):
+            lines.append(f"  flow {src}->{dst}: {count} outstanding (policy)")
+        for (src, dst), count in sorted(pending_retx.items()):
+            lines.append(f"  flow {src}->{dst}: {count} pending retransmission")
+        raise QuiesceTimeout("\n".join(lines))
+
+    def _in_flight_packets(self) -> list[Packet]:
+        """Packets with a live arrival/delivery/injection event queued."""
+        hops = (self._arrive, self._deliver, self._inject)
+        found = []
+        for _, _, _, event in self.sim._queue:
+            if event.cancelled or event.fn not in hops:
+                continue
+            found.extend(arg for arg in event.args if isinstance(arg, Packet))
+        if self._vc is not None:
+            for state in self._vc._states.values():
+                for queue in state.queues:
+                    found.extend(packet for packet, _, _ in queue)
+        return found

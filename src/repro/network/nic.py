@@ -43,6 +43,27 @@ class ProcessingNode:
         #: message consumer: fn(src, mpi_type, mpi_seq, size_bytes, now).
         self.message_handler: Optional[Callable[[int, int, int, int, float], None]] = None
         self._assembly: dict[tuple[int, int], _Reassembly] = {}
+        #: per-source reliable-transport sequence numbers already accepted
+        #: (duplicate suppression for retransmitted packets).
+        self._accepted_seqs: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Reliable-transport duplicate suppression
+    # ------------------------------------------------------------------
+    def first_delivery(self, src: int, retx_seq: int) -> bool:
+        """Record a transport-tracked arrival; False for duplicate copies.
+
+        Only meaningful for packets carrying a sequence number
+        (``retx_seq >= 0``); untracked best-effort traffic always counts
+        as a first delivery.
+        """
+        if retx_seq < 0:
+            return True
+        seen = self._accepted_seqs.setdefault(src, set())
+        if retx_seq in seen:
+            return False
+        seen.add(retx_seq)
+        return True
 
     # ------------------------------------------------------------------
     # Source side

@@ -72,9 +72,15 @@ class Packet:
     #: router that recorded the contending flows (Fig. 3.18 ``Router id``;
     #: -1 under destination-based notification).
     reporting_router: int = -1
+    #: reliable-transport sequence number within the (src, dst) flow;
+    #: -1 when the packet is not tracked by a transport (best-effort).
+    retx_seq: int = -1
+    #: how many times this copy's logical packet has been retransmitted.
+    retries: int = 0
     #: for ACK packets: the data packet fields they acknowledge.
     acked_msp_index: int = 0
     acked_created_at: float = 0.0
+    acked_retx_seq: int = -1
     pid: int = field(default_factory=lambda: next(_pid_counter))
 
     @property
@@ -128,6 +134,7 @@ def make_ack(
         mpi_seq=data.mpi_seq,
         acked_msp_index=data.msp_index,
         acked_created_at=data.created_at,
+        acked_retx_seq=data.retx_seq,
     )
     ack.path_latency = data.path_latency
     if carry_contending and not data.predictive_bit:

@@ -53,6 +53,16 @@ class RoutingPolicy:
     def on_predictive_ack(self, pack: Packet, now: float) -> None:
         """Source-side handling of a router-injected predictive ACK."""
 
+    def on_drop(self, packet: Packet, reason: str, now: float) -> None:
+        """Fabric notification that ``packet`` was dropped (``reason`` is a
+        ``Fabric.dropped_by_reason`` key).  DRB-family policies use this as
+        the NACK signal to prune metapaths crossing dead links."""
+
+    def on_timeout(self, src: int, dst: int, now: float) -> None:
+        """Reliable-transport notification that an outstanding packet of
+        flow ``(src, dst)`` timed out or was abandoned — the matching ACK
+        will never arrive, so per-flow outstanding books must rebalance."""
+
     def tick(self, now: float) -> None:
         """Optional periodic hook (FR-DRB watchdog timers)."""
 

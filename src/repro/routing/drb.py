@@ -19,7 +19,7 @@ from repro.core.contending import make_signature
 from repro.core.metapath import Metapath
 from repro.core.selection import select_msp
 from repro.core.thresholds import Thresholds, Zone
-from repro.network.packet import ContendingFlow, Packet
+from repro.network.packet import DATA, ContendingFlow, Packet
 from repro.routing.base import RoutingPolicy
 from repro.sim.rng import seeded_generator
 from repro.topology.base import Path
@@ -120,6 +120,7 @@ class DRBPolicy(RoutingPolicy):
         # Counters for the evaluation reports.
         self.expansions = 0
         self.shrinks = 0
+        self.paths_pruned = 0
 
     # ------------------------------------------------------------------
     # Flow state management
@@ -203,6 +204,33 @@ class DRBPolicy(RoutingPolicy):
         if ack.contending:
             self._merge_contending(fs, ack.contending, now)
         self._reconfigure(fs, now)
+
+    # ------------------------------------------------------------------
+    # Fault reaction (NACK/timeout path, §3.3.2 made dynamic)
+    # ------------------------------------------------------------------
+    def on_drop(self, packet: Packet, reason: str, now: float) -> None:
+        """A dropped data packet is this model's NACK: prune every active
+        MSP that crosses a currently-failed link so subsequent selections
+        (including the transport's retransmissions) avoid the fault."""
+        if packet.kind != DATA or not self.fabric.failed_links:
+            return
+        fs = self.flows.get((packet.src, packet.dst))
+        if fs is None:
+            return
+        dead = [
+            i
+            for i in fs.metapath.active_indices
+            if not self.fabric.path_alive(fs.metapath.path_for(i))
+        ]
+        if dead:
+            self.paths_pruned += fs.metapath.prune(dead)
+
+    def on_timeout(self, src: int, dst: int, now: float) -> None:
+        """The transport declared an outstanding packet lost: its ACK will
+        never arrive, so rebalance the per-flow outstanding count."""
+        fs = self.flows.get((src, dst))
+        if fs is not None:
+            fs.outstanding = max(0, fs.outstanding - 1)
 
     def _merge_contending(
         self, fs: FlowState, flows: list[ContendingFlow], now: float
@@ -294,6 +322,7 @@ class DRBPolicy(RoutingPolicy):
             "flows": len(self.flows),
             "expansions": self.expansions,
             "shrinks": self.shrinks,
+            "paths_pruned": self.paths_pruned,
             "mean_active_paths": float(np.mean(active)) if active else 1.0,
             "max_active_paths": max(active) if active else 1,
         }

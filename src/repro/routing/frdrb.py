@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.thresholds import Zone
+from repro.network.packet import DATA
 from repro.routing.drb import DRBPolicy, FlowState
 from repro.routing.prdrb import PRDRBConfig, PRDRBPolicy
 
@@ -39,6 +40,7 @@ class FRDRBPolicy(PRDRBPolicy):
         self.predictive = predictive
         self.name = "pr-fr-drb" if predictive else "fr-drb"
         self.watchdog_fires = 0
+        self.nack_reactions = 0
 
     # ------------------------------------------------------------------
     def _pre_send(self, fs: FlowState, now: float) -> None:
@@ -55,6 +57,26 @@ class FRDRBPolicy(PRDRBPolicy):
             fs.zone = Zone.HIGH
             if self._on_congestion(fs, now):
                 fs.last_reconfig = now
+
+    # ------------------------------------------------------------------
+    # Fast response to NACKs: a dropped data packet is as strong a signal
+    # as a missing ACK, so congestion handling fires without waiting for
+    # the watchdog timeout.
+    # ------------------------------------------------------------------
+    def on_drop(self, packet, reason: str, now: float) -> None:
+        super().on_drop(packet, reason, now)
+        if packet.kind != DATA:
+            return
+        fs = self.flows.get((packet.src, packet.dst))
+        if fs is None or now - fs.last_reconfig < self.config.reconfig_cooldown_s:
+            return
+        self.nack_reactions += 1
+        if fs.zone is not Zone.HIGH:
+            fs.high_entry_time = now
+        fs.zone = Zone.HIGH
+        fs.pending_high_entry = False
+        if self._on_congestion(fs, now):
+            fs.last_reconfig = now
 
     # ------------------------------------------------------------------
     # With predictive=False the solution database is bypassed: FR-DRB
@@ -76,5 +98,6 @@ class FRDRBPolicy(PRDRBPolicy):
     def stats(self) -> dict:
         out = super().stats()
         out["watchdog_fires"] = self.watchdog_fires
+        out["nack_reactions"] = self.nack_reactions
         out["predictive"] = self.predictive
         return out

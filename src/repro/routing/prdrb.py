@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.core.solutions import SolutionDatabase
 from repro.core.thresholds import Zone
 from repro.core.trend import TrendDetector
-from repro.network.packet import Packet
+from repro.network.packet import DATA, Packet
 from repro.routing.drb import DRBConfig, DRBPolicy, FlowState
 
 
@@ -58,6 +58,7 @@ class PRDRBPolicy(DRBPolicy):
         self.solutions_applied = 0
         self.solutions_saved = 0
         self.trend_triggers = 0
+        self.solutions_invalidated = 0
 
     # ------------------------------------------------------------------
     def database(self, src: int, dst: int) -> SolutionDatabase:
@@ -100,6 +101,23 @@ class PRDRBPolicy(DRBPolicy):
             )
             self.solutions_saved += 1
         fs.learning_signature = None
+
+    # ------------------------------------------------------------------
+    # Fault reaction: saved solutions must not re-open dead paths
+    # ------------------------------------------------------------------
+    def on_drop(self, packet: Packet, reason: str, now: float) -> None:
+        super().on_drop(packet, reason, now)
+        if packet.kind != DATA or not self.fabric.failed_links:
+            return
+        key = (packet.src, packet.dst)
+        db = self.databases.get(key)
+        fs = self.flows.get(key)
+        if db is None or fs is None or not db.solutions:
+            return
+        metapath = fs.metapath
+        self.solutions_invalidated += db.invalidate(
+            lambda i: self.fabric.path_alive(metapath.path_for(i))
+        )
 
     # ------------------------------------------------------------------
     # Notification-triggered speculation
@@ -204,6 +222,7 @@ class PRDRBPolicy(DRBPolicy):
             "solutions_applied": self.solutions_applied,
             "solutions_saved": self.solutions_saved,
             "trend_triggers": self.trend_triggers,
+            "solutions_invalidated": self.solutions_invalidated,
         }
 
     def stats(self) -> dict:

@@ -25,6 +25,7 @@ FAST = [
     "fig_4_24_26",
     "ablation_notification",
     "ablation_max_paths",
+    "ext_faults",
 ]
 
 SLOW = [
