@@ -6,18 +6,21 @@ script cProfiles a representative congested simulation and prints the
 top functions by cumulative and internal time, so changes to the event
 chain (Fabric._arrive / Router.forward) can be checked for regressions.
 
+Built on :mod:`repro.parallel.profiling` — the same plumbing that
+``python -m repro.parallel run --profile`` uses to drop per-cell
+cProfile stats next to cached sweep results (see docs/parallel.md).
+
 Usage:  python scripts/profile_sim.py [--events N] [--sort tottime|cumulative]
+                                      [--dump PATH]
 """
 
 from __future__ import annotations
 
 import argparse
-import cProfile
-import pstats
-import io
 
 from repro.network.config import NetworkConfig
 from repro.network.fabric import Fabric
+from repro.parallel.profiling import profile_call, stats_text, write_profile
 from repro.routing import make_policy
 from repro.sim.engine import Simulator
 from repro.topology.mesh import Mesh2D
@@ -45,18 +48,17 @@ def main() -> None:
     parser.add_argument("--sort", default="tottime",
                         choices=["tottime", "cumulative"])
     parser.add_argument("--top", type=int, default=20)
+    parser.add_argument("--dump", default=None,
+                        help="also dump raw .prof stats (plus a .txt "
+                        "rendering) to this path")
     args = parser.parse_args()
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    executed = workload(args.events)
-    profiler.disable()
-
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    executed, profiler = profile_call(workload, args.events)
     print(f"executed {executed} events\n")
-    print(stream.getvalue())
+    print(stats_text(profiler, sort=args.sort, top=args.top))
+    if args.dump:
+        write_profile(profiler, args.dump, top=args.top)
+        print(f"raw stats: {args.dump} (text: {args.dump}.txt)")
 
 
 if __name__ == "__main__":

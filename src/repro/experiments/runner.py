@@ -9,8 +9,8 @@ policies' pattern statistics.  Multiple seeds are averaged as in §4.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -64,6 +64,77 @@ class PolicyRun:
             "exec_time_ms": round(self.execution_time_s * 1e3, 4),
             "accepted": round(self.accepted_ratio, 3),
         }
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form (Python floats round-trip bit-exactly).
+
+        This is what lets :mod:`repro.parallel` ship a per-seed run back
+        from a worker process, or answer it from the on-disk cache, with
+        results bit-identical to an in-process serial run.
+        """
+        from repro.parallel.tasks import json_safe
+
+        return {
+            "policy_name": self.policy_name,
+            "global_latency_s": self.global_latency_s,
+            "mean_latency_s": self.mean_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "execution_time_s": self.execution_time_s,
+            "contention_map": {str(k): float(v) for k, v in self.contention_map.items()},
+            "latency_series": [
+                [float(x) for x in self.latency_series[0]],
+                [float(x) for x in self.latency_series[1]],
+            ],
+            "router_series": {
+                str(rid): [[float(x) for x in t], [float(x) for x in v]]
+                for rid, (t, v) in self.router_series.items()
+            },
+            "policy_stats": json_safe(self.policy_stats),
+            "accepted_ratio": self.accepted_ratio,
+            "seeds": self.seeds,
+            "global_latency_ci": (
+                None if self.global_latency_ci is None
+                else {
+                    "mean": self.global_latency_ci.mean,
+                    "half_width": self.global_latency_ci.half_width,
+                    "samples": self.global_latency_ci.samples,
+                }
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PolicyRun":
+        ci = data.get("global_latency_ci")
+        return cls(
+            policy_name=str(data["policy_name"]),
+            global_latency_s=float(data["global_latency_s"]),
+            mean_latency_s=float(data["mean_latency_s"]),
+            p99_latency_s=float(data["p99_latency_s"]),
+            execution_time_s=float(data["execution_time_s"]),
+            contention_map={int(k): float(v) for k, v in data["contention_map"].items()},
+            latency_series=(
+                np.asarray(data["latency_series"][0], dtype=float),
+                np.asarray(data["latency_series"][1], dtype=float),
+            ),
+            router_series={
+                int(rid): (
+                    np.asarray(series[0], dtype=float),
+                    np.asarray(series[1], dtype=float),
+                )
+                for rid, series in data["router_series"].items()
+            },
+            policy_stats=dict(data["policy_stats"]),
+            accepted_ratio=float(data["accepted_ratio"]),
+            seeds=int(data.get("seeds", 1)),
+            global_latency_ci=(
+                None if ci is None
+                else ConfidenceInterval(
+                    mean=float(ci["mean"]),
+                    half_width=float(ci["half_width"]),
+                    samples=int(ci["samples"]),
+                )
+            ),
+        )
 
 
 def improvement(baseline: float, value: float) -> float:
@@ -122,8 +193,76 @@ def _collect(
     )
 
 
+#: A topology is given either as a zero-arg factory (serial execution
+#: only) or as a declarative spec string like ``"mesh:8"`` /
+#: ``"fattree:4,3"`` (required for parallel execution — spec strings are
+#: picklable and cache-keyable, factories are not).
+TopologySpec = Union[str, Callable[[], Topology]]
+
+
+def _resolve_topology(topology: TopologySpec) -> Callable[[], Topology]:
+    if isinstance(topology, str):
+        from repro.parallel.tasks import make_topology
+
+        return lambda: make_topology(topology)
+    return topology
+
+
+def _schedule_to_dict(schedule: Optional[BurstSchedule]) -> Optional[dict]:
+    if schedule is None:
+        return None
+    return {
+        "on_s": schedule.on_s,
+        "off_s": schedule.off_s,
+        "start_s": schedule.start_s,
+        "repetitions": schedule.repetitions,
+    }
+
+
+def _parallel_policy_sweep(
+    executor,
+    kind: str,
+    topology: TopologySpec,
+    policies: Sequence[str],
+    seeds: Sequence[int],
+    common_params: dict,
+) -> dict[str, PolicyRun]:
+    """Fan one (policy, seed) cell per task out to a sweep executor.
+
+    Each worker executes the *same* serial code path below with a single
+    policy and a single seed, so per-cell results — and therefore the
+    seed averages — are bit-identical to a serial run.
+    """
+    from repro.parallel.tasks import SimTask
+
+    if not isinstance(topology, str):
+        raise ValueError(
+            "parallel execution needs a declarative topology spec string "
+            "(e.g. 'mesh:8'); zero-arg factories cannot be shipped to "
+            "worker processes"
+        )
+    tasks = [
+        SimTask(
+            kind=kind,
+            params={**common_params, "topology": topology, "policy": name, "seed": seed},
+            label=f"{kind}:{name}/seed{seed}",
+        )
+        for name in policies
+        for seed in seeds
+    ]
+    payloads = executor.run_strict(tasks)
+    results: dict[str, PolicyRun] = {}
+    for index, name in enumerate(policies):
+        runs = [
+            PolicyRun.from_dict(payloads[index * len(seeds) + offset])
+            for offset in range(len(seeds))
+        ]
+        results[name] = _average_runs(runs)
+    return results
+
+
 def _build(
-    topology_factory: Callable[[], Topology],
+    topology_factory: TopologySpec,
     policy_name: str,
     config: Optional[NetworkConfig],
     notification: str,
@@ -134,7 +273,7 @@ def _build(
     sim = Simulator()
     recorder = StatsRecorder(window_s=window_s, track_router_series=track_routers)
     fabric = Fabric(
-        topology_factory(),
+        _resolve_topology(topology_factory)(),
         config or NetworkConfig(),
         make_policy(policy_name, **policy_kwargs),
         sim,
@@ -145,7 +284,7 @@ def _build(
 
 
 def run_pattern_workload(
-    topology_factory: Callable[[], Topology],
+    topology_factory: TopologySpec,
     policies: Sequence[str],
     pattern: str,
     rate_mbps: float,
@@ -160,8 +299,33 @@ def run_pattern_workload(
     track_routers: bool = False,
     idle_rate_mbps: float = 0.0,
     policy_kwargs: Optional[dict] = None,
+    executor=None,
 ) -> dict[str, PolicyRun]:
-    """Permutation-traffic comparison (§4.6.3, Table 4.3 runs)."""
+    """Permutation-traffic comparison (§4.6.3, Table 4.3 runs).
+
+    ``executor`` (a :class:`repro.parallel.SweepExecutor`) fans the
+    policy x seed grid out to worker processes; results are bit-identical
+    to the serial loop.  Requires ``topology_factory`` to be a spec
+    string like ``"fattree:4,3"``.
+    """
+    if executor is not None and len(policies) * len(seeds) > 1:
+        return _parallel_policy_sweep(
+            executor, "pattern", topology_factory, policies, seeds,
+            {
+                "pattern": pattern,
+                "rate_mbps": rate_mbps,
+                "hosts": None if hosts is None else [int(h) for h in hosts],
+                "schedule": _schedule_to_dict(schedule),
+                "duration_s": duration_s,
+                "drain_s": drain_s,
+                "config": None if config is None else asdict(config),
+                "notification": notification,
+                "window_s": window_s,
+                "track_routers": track_routers,
+                "idle_rate_mbps": idle_rate_mbps,
+                "policy_kwargs": policy_kwargs,
+            },
+        )
     results: dict[str, PolicyRun] = {}
     for name in policies:
         runs = []
@@ -191,7 +355,7 @@ def run_pattern_workload(
 
 
 def run_hotspot_workload(
-    topology_factory: Callable[[], Topology],
+    topology_factory: TopologySpec,
     policies: Sequence[str],
     flows: Sequence[tuple[int, int]],
     rate_mbps: float,
@@ -205,12 +369,36 @@ def run_hotspot_workload(
     window_s: float = 50e-6,
     track_routers: bool = False,
     policy_kwargs: Optional[dict] = None,
+    executor=None,
 ) -> dict[str, PolicyRun]:
-    """Hot-spot specific-pattern comparison (§4.5, §4.6.2)."""
-    results: dict[str, PolicyRun] = {}
+    """Hot-spot specific-pattern comparison (§4.5, §4.6.2).
+
+    ``executor`` (a :class:`repro.parallel.SweepExecutor`) fans the
+    policy x seed grid out to worker processes; results are bit-identical
+    to the serial loop.  Requires ``topology_factory`` to be a spec
+    string like ``"mesh:8"``.
+    """
     stop = schedule.end_time()
     if stop is None:
         raise ValueError("hot-spot schedule must be bounded (set repetitions)")
+    if executor is not None and len(policies) * len(seeds) > 1:
+        return _parallel_policy_sweep(
+            executor, "hotspot", topology_factory, policies, seeds,
+            {
+                "flows": [[int(s), int(d)] for s, d in flows],
+                "rate_mbps": rate_mbps,
+                "schedule": _schedule_to_dict(schedule),
+                "noise_rate_mbps": noise_rate_mbps,
+                "idle_rate_mbps": idle_rate_mbps,
+                "drain_s": drain_s,
+                "config": None if config is None else asdict(config),
+                "notification": notification,
+                "window_s": window_s,
+                "track_routers": track_routers,
+                "policy_kwargs": policy_kwargs,
+            },
+        )
+    results: dict[str, PolicyRun] = {}
     for name in policies:
         runs = []
         for seed in seeds:
@@ -238,7 +426,7 @@ def run_hotspot_workload(
 
 
 def run_app_workload(
-    topology_factory: Callable[[], Topology],
+    topology_factory: TopologySpec,
     policies: Sequence[str],
     trace_factory: Callable[..., "object"],
     trace_kwargs: Optional[dict] = None,

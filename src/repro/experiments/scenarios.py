@@ -39,6 +39,7 @@ from repro.experiments.runner import (
     run_pattern_workload,
 )
 from repro.mpi.trace import call_breakdown
+from repro.parallel import default_executor
 from repro.topology.fattree import KaryNTree
 from repro.topology.mesh import Mesh2D
 from repro.traffic.bursty import BurstSchedule
@@ -47,6 +48,13 @@ from repro.traffic.patterns import PATTERNS
 #: DRB-family experiments run under router-based early notification
 #: (§3.4.1), the design alternative the thesis recommends for speed.
 NOTIFICATION = "router"
+
+#: Declarative topology specs (repro.parallel.make_topology) so the
+#: policy x seed grids can be shipped to worker processes when
+#: ``REPRO_PARALLEL_WORKERS`` is set; serial execution resolves the same
+#: specs in-process, so results are identical either way.
+MESH_SPEC = "mesh:8"
+FATTREE_SPEC = "fattree:4,3"
 
 
 def _hotspot_schedule(scale: Scale) -> BurstSchedule:
@@ -173,7 +181,7 @@ def fig_2_10_13_comm_matrices(scale: Scale = QUICK) -> ExperimentResult:
 
 def _hotspot_runs(scale: Scale, policies, track_routers=False) -> dict[str, PolicyRun]:
     return run_hotspot_workload(
-        lambda: Mesh2D(8),
+        MESH_SPEC,
         policies,
         HOTSPOT_FLOWS,
         rate_mbps=HOTSPOT_RATE_MBPS,
@@ -186,6 +194,7 @@ def _hotspot_runs(scale: Scale, policies, track_routers=False) -> dict[str, Poli
         notification=NOTIFICATION,
         window_s=scale.window_s,
         track_routers=track_routers,
+        executor=default_executor(),
     )
 
 
@@ -336,7 +345,7 @@ def _permutation_experiment(
     )
     sched = BurstSchedule(on_s=BURST_ON_S, off_s=BURST_OFF_S, repetitions=scale.repetitions)
     runs = run_pattern_workload(
-        lambda: KaryNTree(4, 3),
+        FATTREE_SPEC,
         ["deterministic", "drb", "pr-drb"],
         pattern,
         rate_mbps=rate,
@@ -348,6 +357,7 @@ def _permutation_experiment(
         config=fattree_config(),
         notification=NOTIFICATION,
         window_s=scale.window_s,
+        executor=default_executor(),
     )
     det, drb, pr = runs["deterministic"], runs["drb"], runs["pr-drb"]
     for r in (det, drb, pr):
@@ -706,7 +716,7 @@ def fig_4_27_30_pop(scale: Scale = QUICK) -> ExperimentResult:
 
 def _hotspot_prdrb(scale: Scale, notification=None, policy_kwargs=None) -> PolicyRun:
     runs = run_hotspot_workload(
-        lambda: Mesh2D(8),
+        MESH_SPEC,
         ["pr-drb"],
         HOTSPOT_FLOWS,
         rate_mbps=HOTSPOT_RATE_MBPS,
@@ -718,6 +728,9 @@ def _hotspot_prdrb(scale: Scale, notification=None, policy_kwargs=None) -> Polic
         notification=notification or NOTIFICATION,
         window_s=scale.window_s,
         policy_kwargs=policy_kwargs,
+        # Ablation policy_kwargs carry config objects, which are not
+        # JSON task specs; those runs stay serial.
+        executor=None if policy_kwargs else default_executor(),
     )
     return runs["pr-drb"]
 
@@ -1053,7 +1066,7 @@ def ext_saturation_curve(scale: Scale = QUICK) -> ExperimentResult:
     for rate in rates:
         sched = BurstSchedule(on_s=duration, off_s=0.0, repetitions=1)
         runs = run_pattern_workload(
-            lambda: KaryNTree(4, 3),
+            FATTREE_SPEC,
             list(curves),
             "perfect-shuffle",
             rate_mbps=rate,
@@ -1064,6 +1077,7 @@ def ext_saturation_curve(scale: Scale = QUICK) -> ExperimentResult:
             config=fattree_config(),
             notification=NOTIFICATION,
             window_s=scale.window_s,
+            executor=default_executor(),
         )
         row = {"rate_mbps": rate}
         for name in curves:
@@ -1178,7 +1192,7 @@ def ext_virtual_channels(scale: Scale = QUICK) -> ExperimentResult:
     for label, vcs in (("fifo", 1), ("vc4", 4)):
         cfg = NetworkConfig(virtual_channels=vcs)
         runs = run_hotspot_workload(
-            lambda: Mesh2D(8),
+            MESH_SPEC,
             ["pr-drb"],
             HOTSPOT_FLOWS,
             rate_mbps=HOTSPOT_RATE_MBPS,
@@ -1190,6 +1204,7 @@ def ext_virtual_channels(scale: Scale = QUICK) -> ExperimentResult:
             config=cfg,
             notification=NOTIFICATION,
             window_s=scale.window_s,
+            executor=default_executor(),
         )
         r = runs["pr-drb"]
         values[label] = r
@@ -1223,7 +1238,7 @@ def ext_slim_network_footprint(scale: Scale = QUICK) -> ExperimentResult:
     tree) and checks that PR-DRB on the cheap network recovers what
     deterministic routing loses to the missing bisection.
     """
-    from repro.topology.slimtree import SlimmedKaryNTree
+    from repro.parallel.tasks import make_topology
 
     result = ExperimentResult(
         "EXT-slimtree",
@@ -1235,15 +1250,15 @@ def ext_slim_network_footprint(scale: Scale = QUICK) -> ExperimentResult:
     sched = BurstSchedule(on_s=BURST_ON_S, off_s=BURST_OFF_S, repetitions=scale.repetitions)
     rate = PAPER_RATE_MAP[400]
     configs = {
-        "full+deterministic": (lambda: SlimmedKaryNTree(4, 3, 1.0), "deterministic"),
-        "slim+deterministic": (lambda: SlimmedKaryNTree(4, 3, 0.5), "deterministic"),
-        "slim+pr-drb": (lambda: SlimmedKaryNTree(4, 3, 0.5), "pr-drb"),
-        "full+pr-drb": (lambda: SlimmedKaryNTree(4, 3, 1.0), "pr-drb"),
+        "full+deterministic": ("slimtree:4,3,1.0", "deterministic"),
+        "slim+deterministic": ("slimtree:4,3,0.5", "deterministic"),
+        "slim+pr-drb": ("slimtree:4,3,0.5", "pr-drb"),
+        "full+pr-drb": ("slimtree:4,3,1.0", "pr-drb"),
     }
     latency = {}
-    for label, (topo_factory, policy) in configs.items():
+    for label, (topo_spec, policy) in configs.items():
         runs = run_pattern_workload(
-            topo_factory,
+            topo_spec,
             [policy],
             "perfect-shuffle",
             rate_mbps=rate,
@@ -1255,13 +1270,14 @@ def ext_slim_network_footprint(scale: Scale = QUICK) -> ExperimentResult:
             config=fattree_config(),
             notification=NOTIFICATION,
             window_s=scale.window_s,
+            executor=default_executor(),
         )
         r = runs[policy]
         latency[label] = r.global_latency_s
         result.rows.append(
             {
                 "network": label,
-                "routers": topo_factory().num_live_routers,
+                "routers": make_topology(topo_spec).num_live_routers,
                 "global_latency_us": round(r.global_latency_s * 1e6, 2),
                 "accepted": round(r.accepted_ratio, 3),
             }
@@ -1311,7 +1327,7 @@ def ext_fault_resilience(scale: Scale = QUICK) -> ExperimentResult:
     spec = FaultCampaignSpec(
         seed=scale.seeds[0], repetitions=min(scale.repetitions, 4)
     )
-    runs = run_fault_campaign(DEFAULT_POLICIES, spec)
+    runs = run_fault_campaign(DEFAULT_POLICIES, spec, executor=default_executor())
     ratios: dict[str, float] = {}
     for policy in DEFAULT_POLICIES:
         report = runs[policy].report

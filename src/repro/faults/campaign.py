@@ -48,6 +48,16 @@ class FaultCampaignSpec:
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     notification: str = "router"
 
+    def to_dict(self) -> dict:
+        """JSON form matching the ``fault`` task kind of repro.parallel
+        (``FaultCampaignSpec(**{... 'reliability': ReliabilityConfig(**r)})``
+        reconstructs it exactly)."""
+        from dataclasses import asdict
+
+        data = asdict(self)
+        data["reliability"] = asdict(self.reliability)
+        return data
+
 
 @dataclass(frozen=True)
 class FaultRunResult:
@@ -69,6 +79,19 @@ class FaultRunResult:
             "events_executed": self.events_executed,
             "report": self.report.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRunResult":
+        from repro.faults.metrics import ResilienceReport
+
+        return cls(
+            policy=str(data["policy"]),
+            seed=int(data["seed"]),
+            events_digest=str(data["events_digest"]),
+            metrics_digest=str(data["metrics_digest"]),
+            events_executed=int(data["events_executed"]),
+            report=ResilienceReport.from_dict(data["report"]),
+        )
 
 
 def _fault_models(spec: FaultCampaignSpec, fabric, schedule):
@@ -191,12 +214,35 @@ def run_fault_scenario(
     )
 
 
+def _fault_task(policy: str, spec: FaultCampaignSpec):
+    from repro.parallel.tasks import SimTask
+
+    return SimTask(
+        kind="fault",
+        params={"policy": policy, "spec": spec.to_dict()},
+        label=f"fault:{policy}/seed{spec.seed}/loss{spec.ack_loss:g}",
+    )
+
+
 def run_fault_campaign(
     policies=DEFAULT_POLICIES,
     spec: FaultCampaignSpec | None = None,
+    executor=None,
 ) -> dict[str, FaultRunResult]:
-    """Run the campaign once per policy; same seed and fault schedule."""
+    """Run the campaign once per policy; same seed and fault schedule.
+
+    ``executor`` (a :class:`repro.parallel.SweepExecutor`) runs the
+    policies in worker processes; each cell rebuilds the campaign from
+    its seeded spec, so results (including the event/metric digests) are
+    bit-identical to the serial loop.
+    """
     spec = spec or FaultCampaignSpec()
+    if executor is not None and len(policies) > 1:
+        payloads = executor.run_strict([_fault_task(p, spec) for p in policies])
+        return {
+            policy: FaultRunResult.from_dict(payload)
+            for policy, payload in zip(policies, payloads)
+        }
     return {policy: run_fault_scenario(policy, spec) for policy in policies}
 
 
@@ -204,12 +250,28 @@ def sweep_ack_loss(
     rates,
     policies=DEFAULT_POLICIES,
     spec: FaultCampaignSpec | None = None,
+    executor=None,
 ) -> dict[float, dict[str, FaultRunResult]]:
-    """Fault-rate sweep: one campaign per ACK-loss probability."""
+    """Fault-rate sweep: one campaign per ACK-loss probability.
+
+    With an ``executor`` the full rate x policy grid is submitted as one
+    sweep, so all cells share the worker pool (and the result cache)
+    instead of parallelizing only within each rate.
+    """
     from dataclasses import replace
 
     spec = spec or FaultCampaignSpec()
+    specs = {rate: replace(spec, ack_loss=rate) for rate in rates}
+    if executor is not None and len(rates) * len(policies) > 1:
+        grid = [(rate, policy) for rate in rates for policy in policies]
+        payloads = executor.run_strict(
+            [_fault_task(policy, specs[rate]) for rate, policy in grid]
+        )
+        results: dict[float, dict[str, FaultRunResult]] = {rate: {} for rate in rates}
+        for (rate, policy), payload in zip(grid, payloads):
+            results[rate][policy] = FaultRunResult.from_dict(payload)
+        return results
     return {
-        rate: run_fault_campaign(policies, replace(spec, ack_loss=rate))
+        rate: run_fault_campaign(policies, specs[rate])
         for rate in rates
     }

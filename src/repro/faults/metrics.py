@@ -63,6 +63,27 @@ class ResilienceReport:
             "solutions_invalidated": self.solutions_invalidated,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceReport":
+        """Inverse of :meth:`to_dict` (lossless; used by repro.parallel)."""
+        return cls(
+            policy=str(data["policy"]),
+            logical_packets=int(data["logical_packets"]),
+            delivered=int(data["delivered"]),
+            delivered_ratio=float(data["delivered_ratio"]),
+            mttr_s=float(data["mttr_s"]),
+            failures=int(data["failures"]),
+            retransmissions=int(data["retransmissions"]),
+            retransmission_overhead=float(data["retransmission_overhead"]),
+            recovered=int(data["recovered"]),
+            abandoned=int(data["abandoned"]),
+            mean_recovery_latency_s=float(data["mean_recovery_latency_s"]),
+            dropped_by_reason=dict(data.get("dropped_by_reason", {})),
+            watchdog_fires=int(data.get("watchdog_fires", 0)),
+            paths_pruned=int(data.get("paths_pruned", 0)),
+            solutions_invalidated=int(data.get("solutions_invalidated", 0)),
+        )
+
 
 def resilience_report(fabric, transport=None, injector=None) -> ResilienceReport:
     """Assemble a :class:`ResilienceReport` from a finished run.

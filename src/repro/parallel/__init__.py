@@ -1,0 +1,63 @@
+"""Deterministic parallel sweep orchestration (docs/parallel.md).
+
+The paper's evaluation method (§4.3) — the same workload rerun under
+every policy with multiple seeds and averaged — is embarrassingly
+parallel, and every surface in this repo that exploits it (multi-seed
+policy comparisons, fault campaigns, the per-figure benchmarks) was
+strictly serial.  This package supplies the missing execution backend:
+
+* :mod:`repro.parallel.tasks` — declarative, JSON-serializable sweep
+  cells (:class:`SimTask`) and content-addressed cache keys over
+  ``(task spec, code version)``;
+* :mod:`repro.parallel.worker` — hermetic task execution (own Simulator,
+  own seeded RandomStreams per cell) so parallel results are
+  bit-identical to serial ones;
+* :mod:`repro.parallel.cache` — on-disk result cache with checksum
+  verification and corruption eviction;
+* :mod:`repro.parallel.orchestrator` — spawn-context process pool with
+  per-task timeouts, capped-backoff retries, crash isolation and a
+  structured failure ledger;
+* ``python -m repro.parallel`` — run / verify / status / cache CLI.
+
+Set ``REPRO_PARALLEL_WORKERS=4`` (and optionally ``REPRO_CACHE_DIR``) to
+switch the integrated surfaces from serial loops to this backend.
+"""
+
+from repro.parallel.cache import CacheEntry, CacheStats, ResultCache
+from repro.parallel.orchestrator import (
+    FailureRecord,
+    SweepConfig,
+    SweepExecutor,
+    SweepReport,
+    TaskOutcome,
+    default_executor,
+    run_sweep,
+)
+from repro.parallel.tasks import (
+    SimTask,
+    canonical_json,
+    code_version,
+    make_topology,
+    task_key,
+)
+from repro.parallel.worker import TASK_KINDS, execute_task
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "FailureRecord",
+    "ResultCache",
+    "SimTask",
+    "SweepConfig",
+    "SweepExecutor",
+    "SweepReport",
+    "TASK_KINDS",
+    "TaskOutcome",
+    "canonical_json",
+    "code_version",
+    "default_executor",
+    "execute_task",
+    "make_topology",
+    "run_sweep",
+    "task_key",
+]

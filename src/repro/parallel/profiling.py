@@ -1,0 +1,45 @@
+"""Shared cProfile plumbing for workers and ``scripts/profile_sim.py``.
+
+The HPC discipline stays "no optimization without measuring": workers can
+profile the task they execute (``--profile``) and drop the stats next to
+the cached result, so a sweep doubles as a profiling campaign — per-cell
+``<key>.prof`` dumps (loadable with :mod:`pstats` or snakeviz) plus a
+human-readable ``<key>.prof.txt`` top-N rendering.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+__all__ = ["profile_call", "stats_text", "write_profile"]
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, cProfile.Profile]:
+    """Run ``fn`` under cProfile; return ``(result, profile)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, profiler
+
+
+def stats_text(
+    profiler: cProfile.Profile, sort: str = "tottime", top: int = 20
+) -> str:
+    """Top-``top`` functions of a finished profile as text."""
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return stream.getvalue()
+
+
+def write_profile(profiler: cProfile.Profile, path: str, top: int = 25) -> None:
+    """Dump raw stats to ``path`` and a text summary to ``path + '.txt'``."""
+    profiler.dump_stats(path)
+    with open(f"{path}.txt", "w", encoding="utf-8") as handle:
+        handle.write(stats_text(profiler, top=top))

@@ -1,0 +1,201 @@
+"""Worker-side task execution: deterministic, hermetic, picklable.
+
+Every registered task kind builds a *fresh* simulation from its params —
+its own :class:`~repro.sim.engine.Simulator`, its own
+:class:`~repro.sim.rng.RandomStreams` from the task's seed — and returns
+a JSON-serializable result dict.  Nothing in this module reads the wall
+clock or ambient RNG: a task executed in a spawn-context worker process
+is bit-identical to the same task executed inline in the parent (the
+``repro.analysis`` lints and the parallel-equivalence CI smoke both
+enforce this).
+
+Task kinds
+----------
+``replay``
+    One seeded small-mesh hot-spot run through
+    :func:`repro.analysis.replay.run_scenario`; result carries the
+    event-trace and metrics SHA-256 digests.
+``hotspot`` / ``pattern``
+    One (policy, seed) cell of
+    :func:`repro.experiments.runner.run_hotspot_workload` /
+    :func:`~repro.experiments.runner.run_pattern_workload` on a
+    declarative topology spec; result is a lossless
+    :meth:`~repro.experiments.runner.PolicyRun.to_dict`.
+``fault``
+    One policy's seeded fault scenario through
+    :func:`repro.faults.campaign.run_fault_scenario`.
+``selftest``
+    Orchestrator test double: succeeds, raises, crashes the worker
+    process, or spins — used by the supervision tests and CI only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.parallel.tasks import SimTask, json_safe
+
+__all__ = ["TASK_KINDS", "execute_task", "pool_worker"]
+
+
+# ----------------------------------------------------------------------
+# Kind implementations
+# ----------------------------------------------------------------------
+def _run_replay(params: dict) -> dict:
+    from repro.analysis.replay import run_scenario
+
+    digest = run_scenario(
+        seed=int(params.get("seed", 0)),
+        policy=str(params.get("policy", "pr-drb")),
+        mesh_side=int(params.get("mesh_side", 4)),
+        repetitions=int(params.get("repetitions", 3)),
+    )
+    return digest.to_dict()
+
+
+def _run_fault(params: dict) -> dict:
+    from repro.faults.campaign import FaultCampaignSpec, run_fault_scenario
+    from repro.network.config import ReliabilityConfig
+
+    spec_params = dict(params.get("spec", {}))
+    reliability = spec_params.pop("reliability", None)
+    if reliability is not None:
+        spec_params["reliability"] = ReliabilityConfig(**reliability)
+    result = run_fault_scenario(
+        policy=str(params.get("policy", "pr-drb")),
+        spec=FaultCampaignSpec(**spec_params),
+    )
+    return result.to_dict()
+
+
+def _build_schedule(params: Optional[dict]):
+    from repro.traffic.bursty import BurstSchedule
+
+    if params is None:
+        return None
+    return BurstSchedule(
+        on_s=float(params["on_s"]),
+        off_s=float(params["off_s"]),
+        start_s=float(params.get("start_s", 0.0)),
+        repetitions=(
+            None if params.get("repetitions") is None
+            else int(params["repetitions"])
+        ),
+    )
+
+
+def _build_config(params: Optional[dict]):
+    from repro.network.config import NetworkConfig
+
+    return None if params is None else NetworkConfig(**params)
+
+
+def _run_hotspot(params: dict) -> dict:
+    from repro.experiments.runner import run_hotspot_workload
+
+    runs = run_hotspot_workload(
+        params["topology"],
+        [params["policy"]],
+        [tuple(flow) for flow in params["flows"]],
+        rate_mbps=float(params["rate_mbps"]),
+        schedule=_build_schedule(params["schedule"]),
+        noise_rate_mbps=float(params.get("noise_rate_mbps", 0.0)),
+        idle_rate_mbps=float(params.get("idle_rate_mbps", 0.0)),
+        drain_s=float(params.get("drain_s", 1e-3)),
+        seeds=(int(params.get("seed", 0)),),
+        config=_build_config(params.get("config")),
+        notification=str(params.get("notification", "destination")),
+        window_s=float(params.get("window_s", 50e-6)),
+        track_routers=bool(params.get("track_routers", False)),
+        policy_kwargs=params.get("policy_kwargs"),
+    )
+    return runs[params["policy"]].to_dict()
+
+
+def _run_pattern(params: dict) -> dict:
+    from repro.experiments.runner import run_pattern_workload
+
+    hosts = params.get("hosts")
+    runs = run_pattern_workload(
+        params["topology"],
+        [params["policy"]],
+        params["pattern"],
+        rate_mbps=float(params["rate_mbps"]),
+        hosts=None if hosts is None else [int(h) for h in hosts],
+        schedule=_build_schedule(params.get("schedule")),
+        duration_s=float(params.get("duration_s", 1e-3)),
+        drain_s=float(params.get("drain_s", 1e-3)),
+        seeds=(int(params.get("seed", 0)),),
+        config=_build_config(params.get("config")),
+        notification=str(params.get("notification", "destination")),
+        window_s=float(params.get("window_s", 50e-6)),
+        track_routers=bool(params.get("track_routers", False)),
+        idle_rate_mbps=float(params.get("idle_rate_mbps", 0.0)),
+        policy_kwargs=params.get("policy_kwargs"),
+    )
+    return runs[params["policy"]].to_dict()
+
+
+def _run_selftest(params: dict) -> dict:
+    """Supervision test double — never used by real sweeps."""
+    mode = params.get("mode", "ok")
+    if mode == "ok":
+        return {"value": params.get("value", 0)}
+    if mode == "fail":
+        raise ValueError(params.get("message", "selftest failure"))
+    if mode == "crash-once":
+        # Crash the worker process hard on the first attempt; succeed on
+        # the retry.  Cross-attempt state lives in a caller-named flag
+        # file because the crashed process's memory is gone.
+        flag = params["flag_path"]
+        if not os.path.exists(flag):
+            with open(flag, "w", encoding="utf-8") as handle:
+                handle.write("crashed")
+            os._exit(13)
+        return {"value": "recovered"}
+    if mode == "crash":
+        os._exit(13)
+    if mode == "spin":
+        # Burn CPU without reading the wall clock; long enough that the
+        # orchestrator's timeout fires first, bounded so a missed kill
+        # cannot hang a test run forever.
+        total = 0
+        for i in range(int(params.get("iterations", 2 * 10**8))):
+            total += i & 7
+        return {"value": total}
+    raise ValueError(f"unknown selftest mode {mode!r}")
+
+
+TASK_KINDS: dict[str, Callable[[dict], dict]] = {
+    "replay": _run_replay,
+    "fault": _run_fault,
+    "hotspot": _run_hotspot,
+    "pattern": _run_pattern,
+    "selftest": _run_selftest,
+}
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def execute_task(task: SimTask, profile_path: Optional[str] = None) -> dict:
+    """Run one task; optionally cProfile it, dumping stats next to the
+    cache entry (``<key>.prof`` + a ``<key>.prof.txt`` rendering)."""
+    runner = TASK_KINDS.get(task.kind)
+    if runner is None:
+        raise ValueError(
+            f"unknown task kind {task.kind!r}; registered: {sorted(TASK_KINDS)}"
+        )
+    if profile_path is None:
+        return json_safe(runner(task.params))
+    from repro.parallel.profiling import profile_call, write_profile
+
+    result, profile = profile_call(runner, task.params)
+    write_profile(profile, profile_path)
+    return json_safe(result)
+
+
+def pool_worker(task_dict: dict, profile_path: Optional[str] = None) -> dict:
+    """Top-level (picklable) adapter used by the process pool."""
+    return execute_task(SimTask.from_dict(task_dict), profile_path=profile_path)

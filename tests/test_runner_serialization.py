@@ -1,0 +1,111 @@
+"""Property-based round-trip of :class:`PolicyRun` serialization.
+
+The parallel backend ships per-seed runs across process boundaries as
+JSON; :meth:`PolicyRun.to_dict` / :meth:`from_dict` must therefore be
+*lossless* — every float bit-exact, every numpy series reconstructed
+element-for-element — or parallel sweeps would silently diverge from
+serial ones.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import PolicyRun
+from repro.experiments.stats import ConfidenceInterval
+
+# Finite floats only: latencies/ratios are never NaN/inf, and NaN would
+# break the == comparison the round-trip assertion relies on.
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+positive = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+def series(draw, max_len=6):
+    values = draw(st.lists(finite, max_size=max_len))
+    return (
+        np.asarray(values, dtype=float),
+        np.asarray(draw(st.lists(finite, min_size=len(values), max_size=len(values))), dtype=float),
+    )
+
+
+policy_runs = st.builds(
+    PolicyRun,
+    policy_name=st.sampled_from(["deterministic", "drb", "pr-drb", "fr-drb"]),
+    global_latency_s=finite,
+    mean_latency_s=finite,
+    p99_latency_s=finite,
+    execution_time_s=finite,
+    contention_map=st.dictionaries(st.integers(0, 255), finite, max_size=6),
+    latency_series=st.composite(series)(),
+    router_series=st.dictionaries(
+        st.integers(0, 255), st.composite(series)(), max_size=4
+    ),
+    policy_stats=st.dictionaries(
+        st.sampled_from(["expansions", "shrinks", "solutions_applied", "x"]),
+        st.one_of(st.integers(-10**6, 10**6), finite),
+        max_size=4,
+    ),
+    accepted_ratio=positive,
+    seeds=st.integers(1, 16),
+    global_latency_ci=st.one_of(
+        st.none(),
+        st.builds(
+            ConfidenceInterval,
+            mean=finite,
+            half_width=positive,
+            samples=st.integers(1, 64),
+        ),
+    ),
+)
+
+
+def assert_equal_runs(a: PolicyRun, b: PolicyRun) -> None:
+    assert b.policy_name == a.policy_name
+    assert b.global_latency_s == a.global_latency_s
+    assert b.mean_latency_s == a.mean_latency_s
+    assert b.p99_latency_s == a.p99_latency_s
+    assert b.execution_time_s == a.execution_time_s
+    assert b.contention_map == a.contention_map
+    assert np.array_equal(b.latency_series[0], a.latency_series[0])
+    assert np.array_equal(b.latency_series[1], a.latency_series[1])
+    assert set(b.router_series) == set(a.router_series)
+    for rid, (t, v) in a.router_series.items():
+        assert np.array_equal(b.router_series[rid][0], t)
+        assert np.array_equal(b.router_series[rid][1], v)
+    assert b.policy_stats == a.policy_stats
+    assert b.accepted_ratio == a.accepted_ratio
+    assert b.seeds == a.seeds
+    assert b.global_latency_ci == a.global_latency_ci
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy_runs)
+def test_round_trip_is_lossless(run):
+    assert_equal_runs(run, PolicyRun.from_dict(run.to_dict()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(policy_runs)
+def test_round_trip_survives_json_wire_format(run):
+    # The exact path a worker result takes: dict -> JSON text -> dict.
+    wire = json.loads(json.dumps(run.to_dict()))
+    assert_equal_runs(run, PolicyRun.from_dict(wire))
+
+
+def test_int_keys_restored():
+    run = PolicyRun(
+        policy_name="drb",
+        global_latency_s=1e-6,
+        mean_latency_s=1e-6,
+        p99_latency_s=2e-6,
+        execution_time_s=1e-3,
+        contention_map={7: 0.5},
+        latency_series=(np.array([0.0]), np.array([1.0])),
+        router_series={3: (np.array([0.0]), np.array([2.0]))},
+        policy_stats={},
+        accepted_ratio=1.0,
+    )
+    restored = PolicyRun.from_dict(json.loads(json.dumps(run.to_dict())))
+    assert list(restored.contention_map) == [7]
+    assert list(restored.router_series) == [3]
