@@ -3,6 +3,13 @@
 Measures the discrete-event engine's raw event rate and a packet's
 end-to-end cost through the fabric, so regressions in the substrate are
 visible independently of the Chapter-4 experiments.
+
+``bench_hotspot_events_per_s`` is the headline number: the pinned
+congested hot-spot workload from :mod:`repro.perf`, rated per policy and
+compared against the recorded pre-optimization baseline.  Run standalone
+to regenerate ``BENCH_engine.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
 """
 
 from repro.network.config import NetworkConfig
@@ -43,3 +50,30 @@ def bench_fabric_packet_throughput(benchmark):
 
     delivered = benchmark(run)
     assert delivered > 450  # loopback sends excluded
+
+
+def bench_hotspot_events_per_s(benchmark):
+    """Pinned hot-spot workload (see repro.perf): one deterministic-policy
+    pass, asserting the digest gate holds for that policy."""
+    from repro.perf import load_baseline, check_digests, run_pinned_workload
+
+    executed = benchmark.pedantic(
+        run_pinned_workload, args=("deterministic", 60_000),
+        rounds=1, iterations=1,
+    )
+    assert executed == 60_000
+    results = check_digests(["deterministic"], load_baseline())
+    assert results["deterministic"]["ok"], "digest drift: see repro.perf"
+
+
+def main() -> int:
+    """Regenerate BENCH_engine.json via the repro.perf suite driver."""
+    from repro.perf import main as perf_main
+
+    import sys
+
+    return perf_main(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

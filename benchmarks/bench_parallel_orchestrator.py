@@ -101,6 +101,16 @@ def run_bench(policies=DEFAULT_POLICIES, n_seeds=8, workers=None, out="BENCH_par
         ]
 
     speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
+    if cpu_count >= 4:
+        speedup_assertion = {"checked": True, "skipped_reason": None}
+    else:
+        speedup_assertion = {
+            "checked": False,
+            "skipped_reason": (
+                f"only {cpu_count} core(s); the >= 2x assertion needs >= 4 "
+                "physical cores to be meaningful"
+            ),
+        }
     payload = {
         "benchmark": "parallel_orchestrator",
         "workload": {
@@ -121,16 +131,19 @@ def run_bench(policies=DEFAULT_POLICIES, n_seeds=8, workers=None, out="BENCH_par
         "bit_identical": True,
         "cells_per_s_parallel": round(len(tasks) / parallel.wall_s, 3)
         if parallel.wall_s > 0 else 0.0,
+        "speedup_assertion": speedup_assertion,
     }
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
-    if cpu_count >= 4:
+    if speedup_assertion["checked"]:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup with {workers} workers on {cpu_count} "
             f"cores, measured {speedup:.2f}x"
         )
+    else:
+        print(f"SKIPPED speedup assertion: {speedup_assertion['skipped_reason']}")
     return payload
 
 

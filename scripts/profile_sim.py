@@ -2,48 +2,35 @@
 """Profile the simulator's hot path.
 
 The HPC-Python discipline: no optimization without measuring.  This
-script cProfiles a representative congested simulation and prints the
-top functions by cumulative and internal time, so changes to the event
-chain (Fabric._arrive / Router.forward) can be checked for regressions.
+script cProfiles a representative congested simulation — the same pinned
+hot-spot workload that ``python -m repro.perf`` rates and
+``baseline.json`` records — and prints the top functions by cumulative
+and internal time, so changes to the event chain (Fabric._arrive /
+Router.forward) can be checked for regressions.  It also prints the
+run's events/sec so a profile and a throughput number always come from
+the same invocation.
 
 Built on :mod:`repro.parallel.profiling` — the same plumbing that
 ``python -m repro.parallel run --profile`` uses to drop per-cell
 cProfile stats next to cached sweep results (see docs/parallel.md).
 
-Usage:  python scripts/profile_sim.py [--events N] [--sort tottime|cumulative]
-                                      [--dump PATH]
+Usage:  python scripts/profile_sim.py [--policy pr-drb] [--events N]
+                                      [--sort tottime|cumulative] [--dump PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
-from repro.network.config import NetworkConfig
-from repro.network.fabric import Fabric
 from repro.parallel.profiling import profile_call, stats_text, write_profile
-from repro.routing import make_policy
-from repro.sim.engine import Simulator
-from repro.topology.mesh import Mesh2D
-from repro.traffic.bursty import BurstSchedule
-from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
-
-
-def workload(max_events: int) -> int:
-    sim = Simulator()
-    fabric = Fabric(Mesh2D(8), NetworkConfig(), make_policy("pr-drb"), sim)
-    schedule = BurstSchedule(on_s=3e-4, off_s=3e-4, repetitions=50)
-    flows = [HotSpotFlow(0, 37), HotSpotFlow(8, 45),
-             HotSpotFlow(16, 53), HotSpotFlow(24, 61)]
-    HotSpotWorkload(
-        fabric, flows, rate_bps=1.3e9, schedule=schedule,
-        stop_s=schedule.end_time(), idle_rate_bps=250e6,
-    ).start()
-    sim.run(max_events=max_events)
-    return sim.events_executed
+from repro.perf import DEFAULT_POLICIES, run_pinned_workload
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
+    parser.add_argument("--policy", default="pr-drb", choices=DEFAULT_POLICIES,
+                        help="routing policy to profile (default: pr-drb)")
     parser.add_argument("--events", type=int, default=300_000)
     parser.add_argument("--sort", default="tottime",
                         choices=["tottime", "cumulative"])
@@ -53,8 +40,14 @@ def main() -> None:
                         "rendering) to this path")
     args = parser.parse_args()
 
-    executed, profiler = profile_call(workload, args.events)
-    print(f"executed {executed} events\n")
+    start = time.process_time()
+    executed, profiler = profile_call(
+        run_pinned_workload, args.policy, args.events
+    )
+    elapsed = time.process_time() - start
+    rate = executed / elapsed if elapsed > 0 else 0.0
+    print(f"policy {args.policy}: executed {executed} events "
+          f"in {elapsed:.2f}s CPU = {rate:,.0f} events/sec (profiled)\n")
     print(stats_text(profiler, sort=args.sort, top=args.top))
     if args.dump:
         write_profile(profiler, args.dump, top=args.top)

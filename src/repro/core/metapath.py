@@ -34,6 +34,35 @@ class Metapath:
         #: prefix for DRB but arbitrary subsets are allowed for saved
         #: solutions.
         self._active: list[int] = [0]
+        # Memoized views/aggregates, recomputed lazily after invalidation.
+        # Every mutation flows through the methods below, so explicit
+        # invalidation is complete: active-set changes (expand / shrink /
+        # prune / apply_solution) clear everything; per-ACK latency updates
+        # (record_ack) clear only the latency-derived caches.  The version
+        # counter lets callers (Eq. 3.6 selection) key their own caches.
+        self.version: int = 0
+        self._active_tuple: tuple[int, ...] | None = None
+        self._active_list: list[MultiStepPath] | None = None
+        self._latency_cache: float | None = None
+        self._pdf_cache = None  # set by repro.core.selection
+        self._cdf_cache = None  # set by repro.core.selection
+
+    # ------------------------------------------------------------------
+    def _invalidate_active(self) -> None:
+        """Active set changed: drop every cached view and aggregate."""
+        self.version += 1
+        self._active_tuple = None
+        self._active_list = None
+        self._latency_cache = None
+        self._pdf_cache = None
+        self._cdf_cache = None
+
+    def _invalidate_latency(self) -> None:
+        """An MSP latency estimate moved: drop the derived aggregates."""
+        self.version += 1
+        self._latency_cache = None
+        self._pdf_cache = None
+        self._cdf_cache = None
 
     # ------------------------------------------------------------------
     @property
@@ -42,11 +71,18 @@ class Metapath:
 
     @property
     def active_indices(self) -> tuple[int, ...]:
-        return tuple(self._active)
+        cached = self._active_tuple
+        if cached is None:
+            cached = self._active_tuple = tuple(self._active)
+        return cached
 
     @property
     def active_msps(self) -> list[MultiStepPath]:
-        return [self.msps[i] for i in self._active]
+        cached = self._active_list
+        if cached is None:
+            msps = self.msps
+            cached = self._active_list = [msps[i] for i in self._active]
+        return cached
 
     @property
     def original(self) -> MultiStepPath:
@@ -66,15 +102,21 @@ class Metapath:
 
         The inverse of a path's latency is its capacity; the metapath's
         capacity is the sum of its open paths' capacities, so the
-        aggregate drops as paths open.
+        aggregate drops as paths open.  Memoized until the next
+        :meth:`record_ack` or active-set change.
         """
+        cached = self._latency_cache
+        if cached is not None:
+            return cached
         inv = 0.0
         for msp in self.active_msps:
             lat = msp.latency_s
             if lat <= 0:
                 raise ValueError("MSP latency must be positive")
             inv += 1.0 / lat
-        return 1.0 / inv
+        result = 1.0 / inv
+        self._latency_cache = result
+        return result
 
     # ------------------------------------------------------------------
     # DRB incremental reconfiguration (§3.2.4)
@@ -95,6 +137,7 @@ class Metapath:
                 self._active.append(idx)
                 self._active.sort()
                 self.active_count = len(self._active)
+                self._invalidate_active()
                 return True
         return False
 
@@ -106,6 +149,7 @@ class Metapath:
         worst = max(closable, key=lambda i: self.msps[i].latency_s)
         self._active.remove(worst)
         self.active_count = len(self._active)
+        self._invalidate_active()
         return True
 
     def prune(self, dead_indices) -> int:
@@ -123,6 +167,7 @@ class Metapath:
             survivors = [0]
         self._active = survivors
         self.active_count = len(survivors)
+        self._invalidate_active()
         return closed
 
     # ------------------------------------------------------------------
@@ -141,11 +186,13 @@ class Metapath:
                 self.msps[idx].reset(seed_queueing_s=seed)
         self._active = valid
         self.active_count = len(self._active)
+        self._invalidate_active()
 
     def record_ack(self, msp_index: int, queueing_s: float) -> None:
         """Fold an ACK's measured queueing delay into its MSP (Eq. 3.3)."""
         if 0 <= msp_index < self.max_paths:
             self.msps[msp_index].record(queueing_s)
+            self._invalidate_latency()
 
     def path_for(self, msp_index: int) -> Path:
         return self.msps[msp_index].path

@@ -15,19 +15,48 @@ from repro.core.metapath import Metapath
 
 
 def selection_probabilities(metapath: Metapath) -> np.ndarray:
-    """Eq. 3.6 PDF over the metapath's *active* MSPs (sums to 1)."""
-    latencies = np.array([msp.latency_s for msp in metapath.active_msps])
-    if np.any(latencies <= 0):
+    """Eq. 3.6 PDF over the metapath's *active* MSPs (sums to 1).
+
+    Memoized on the metapath and invalidated by its version counter, so
+    between latency updates repeated selections reuse the same array (the
+    values are computed by the identical expression either way).
+    """
+    cached = metapath._pdf_cache
+    if cached is not None:
+        return cached
+    lats = [msp.latency_s for msp in metapath.active_msps]
+    # Positivity check in plain Python: cheaper than a numpy reduction on
+    # a handful of elements, and it does not touch the pdf arithmetic.
+    if min(lats) <= 0:
         raise ValueError("MSP latencies must be positive")
+    latencies = np.array(lats)
     weights = 1.0 / latencies
-    return weights / weights.sum()
+    pdf = weights / weights.sum()
+    pdf.setflags(write=False)
+    metapath._pdf_cache = pdf
+    return pdf
 
 
 def select_msp(metapath: Metapath, rng: np.random.Generator) -> int:
-    """Draw one open MSP; returns its index into ``metapath.msps``."""
+    """Draw one open MSP; returns its index into ``metapath.msps``.
+
+    Equivalent to ``rng.choice(len(active), p=pdf)`` — the same
+    ``cdf.searchsorted(rng.random(), side="right")`` draw that
+    ``Generator.choice`` performs internally, consuming exactly one
+    uniform — but with the normalized CDF cached on the metapath so the
+    per-message cost is one RNG draw plus one binary search.  Bit-exact
+    equivalence with ``Generator.choice`` is asserted by
+    ``tests/test_core_selection.py`` and by the replay digests.
+    """
     active = metapath.active_indices
     if len(active) == 1:
         return active[0]
-    pdf = selection_probabilities(metapath)
-    choice = rng.choice(len(active), p=pdf)
-    return active[int(choice)]
+    cdf = metapath._cdf_cache
+    if cdf is None:
+        pdf = selection_probabilities(metapath)
+        cdf = pdf.cumsum()
+        cdf /= cdf[-1]
+        cdf.setflags(write=False)
+        metapath._cdf_cache = cdf
+    idx = cdf.searchsorted(rng.random(), side="right")
+    return active[int(idx)]

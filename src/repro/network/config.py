@@ -74,21 +74,36 @@ class NetworkConfig:
             )
         if self.virtual_channels < 1:
             raise ValueError("virtual_channels must be >= 1")
+        # Serialization-time memo: the hot path asks for the same handful
+        # of sizes (packet, ACK, final fragment) millions of times.  Each
+        # cached value is computed by the exact ``size * 8 / bandwidth``
+        # expression below, so memoization cannot shift float rounding.
+        # Non-field attributes: invisible to dataclass eq/repr.
+        self._tx_cache: dict[int, float] = {}
+        self._packet_tx_s: float = (
+            self.packet_size_bytes * 8 / self.link_bandwidth_bps
+        )
+        self._ack_tx_s: float = self.ack_size_bytes * 8 / self.link_bandwidth_bps
 
     # ------------------------------------------------------------------
     @property
     def packet_tx_time_s(self) -> float:
         """Serialization time of a data packet on one link."""
-        return self.packet_size_bytes * 8 / self.link_bandwidth_bps
+        return self._packet_tx_s
 
     @property
     def ack_tx_time_s(self) -> float:
         """Serialization time of an ACK packet on one link."""
-        return self.ack_size_bytes * 8 / self.link_bandwidth_bps
+        return self._ack_tx_s
 
     def tx_time_s(self, size_bytes: int) -> float:
-        """Serialization time of ``size_bytes`` on one link."""
-        return size_bytes * 8 / self.link_bandwidth_bps
+        """Serialization time of ``size_bytes`` on one link (memoized)."""
+        cached = self._tx_cache.get(size_bytes)
+        if cached is None:
+            cached = self._tx_cache[size_bytes] = (
+                size_bytes * 8 / self.link_bandwidth_bps
+            )
+        return cached
 
 
 @dataclass

@@ -73,11 +73,20 @@ class Fabric:
         if notification not in (DESTINATION_BASED, ROUTER_BASED):
             raise ValueError(f"unknown notification mode {notification!r}")
         self.topology = topology
+        topology.enable_route_cache()
         self.config = config
         self.policy = policy
         self.sim = sim
         self.recorder = recorder
         self.notification = notification
+        # Hot-path constants (fixed after construction; see
+        # docs/performance.md).  flow_control and the policy's per_hop
+        # flag never change once the fabric exists.
+        self._link_delay_s = config.link_delay_s
+        self._packet_size = config.packet_size_bytes
+        self._onoff = config.flow_control == "onoff"
+        self._per_hop = bool(getattr(policy, "per_hop", False))
+        self._schedule_at = sim.schedule_at
         handler = self._router_congestion if notification == ROUTER_BASED else None
         self.routers = [
             Router(r, config, congestion_handler=handler)
@@ -142,10 +151,11 @@ class Fabric:
             return 0
         now = self.sim.now
         path, msp_index = self.policy.select_path(src, dst, size_bytes, now)
-        fragments = max(1, math.ceil(size_bytes / self.config.packet_size_bytes))
+        packet_size = self._packet_size
+        fragments = max(1, math.ceil(size_bytes / packet_size))
         remaining = size_bytes
         for i in range(fragments):
-            chunk = min(self.config.packet_size_bytes, remaining)
+            chunk = min(packet_size, remaining)
             remaining -= chunk
             packet = Packet(
                 src=src,
@@ -190,8 +200,8 @@ class Fabric:
                 self.recorder.on_data_injected(packet, self.sim.now)
             if self.transport is not None:
                 self.transport.on_inject(packet, self.sim.now)
-        self.sim.schedule_at(
-            exit_time + self.config.link_delay_s, self._arrive, packet
+        self._schedule_at(
+            exit_time + self._link_delay_s, self._arrive, packet
         )
 
     # ------------------------------------------------------------------
@@ -229,40 +239,45 @@ class Fabric:
             # link are lost too (satellite of §3.3.2's dynamic fault model).
             self._drop(packet, DROP_LINK_DOWN)
             return
-        if getattr(self.policy, "per_hop", False) and packet.kind == DATA:
+        if self._per_hop and packet.kind == DATA:
             self._arrive_adaptive(packet, now)
             return
         if self._vc is not None:
             self._arrive_vc(packet, now)
             return
-        router = self.routers[packet.current_router]
-        if packet.at_last_router:
-            port = router.port_to("host", packet.dst)
+        path = packet.path
+        hop = packet.hop
+        router = self.routers[path[hop]]
+        if hop == len(path) - 1:
+            port = router.host_ports.get(packet.dst)
+            if port is None:
+                port = router.port_to("host", packet.dst)
             depart = router.forward(packet, port, now)
-            self.sim.schedule_at(
-                depart + self.config.link_delay_s, self._deliver, packet
+            self._schedule_at(
+                depart + self._link_delay_s, self._deliver, packet
             )
         else:
-            next_router = packet.path[packet.hop + 1]
-            if self.failed_links and not self.link_alive(
-                packet.current_router, next_router
-            ):
+            next_router = path[hop + 1]
+            if self.failed_links and not self.link_alive(path[hop], next_router):
                 # A failed link drops the packet: recovery is the routing
                 # policy's job (alternative paths avoid the fault; FR-DRB's
                 # watchdog notices the missing ACK) plus, when installed,
                 # the reliable transport's (retransmission).
                 self._drop(packet, DROP_LINK_DOWN)
                 return
-            port = router.port_to("router", next_router)
-            if self._stalled(router, port, packet, now):
+            port = router.router_ports.get(next_router)
+            if port is None:
+                port = router.port_to("router", next_router)
+            if self._onoff and self._stalled(router, port, packet, now):
                 return
             depart = router.forward(packet, port, now)
-            packet.hop += 1
-            self.sim.schedule_at(
-                depart + self.link_delay(packet.path[packet.hop - 1], next_router),
-                self._arrive,
-                packet,
+            packet.hop = hop + 1
+            delay = (
+                self._link_delay_s
+                if not self.degraded_links
+                else self.link_delay(path[hop], next_router)
             )
+            self._schedule_at(depart + delay, self._arrive, packet)
 
     def _crossed_link_alive(self, packet: Packet) -> bool:
         """Is the link this packet just traversed still up on arrival?"""
@@ -273,8 +288,9 @@ class Fabric:
     def _stalled(self, router: Router, port: OutputPort, packet: Packet, now: float) -> bool:
         """On/Off flow control: hold the packet upstream until the full
         output buffer drains (§2.1.3).  Returns True when a retry was
-        scheduled."""
-        if self.config.flow_control != "onoff":
+        scheduled.  Callers gate on ``self._onoff``; the check is repeated
+        here so direct calls stay correct."""
+        if not self._onoff:
             return False
         if router.buffer_available(port, packet.size_bytes, now):
             return False
@@ -545,7 +561,7 @@ class Fabric:
         """Packets with a live arrival/delivery/injection event queued."""
         hops = (self._arrive, self._deliver, self._inject)
         found = []
-        for _, _, _, event in self.sim._queue:
+        for event in self.sim._queue:
             if event.cancelled or event.fn not in hops:
                 continue
             found.extend(arg for arg in event.args if isinstance(arg, Packet))

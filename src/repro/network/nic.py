@@ -18,7 +18,7 @@ from repro.network.config import NetworkConfig
 from repro.network.packet import DATA, Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reassembly:
     received: int = 0
     expected: int = -1  # unknown until the final packet arrives
@@ -46,6 +46,10 @@ class ProcessingNode:
         #: per-source reliable-transport sequence numbers already accepted
         #: (duplicate suppression for retransmitted packets).
         self._accepted_seqs: dict[int, set[int]] = {}
+        #: injection serialization-time memo keyed by packet size; each
+        #: entry is computed by the exact expression in :meth:`serialize`,
+        #: so the cache cannot shift float rounding.
+        self._inj_tx_cache: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Reliable-transport duplicate suppression
@@ -70,13 +74,19 @@ class ProcessingNode:
     # ------------------------------------------------------------------
     def serialize(self, packet: Packet, now: float) -> float:
         """Occupy the injection link; return the packet's wire-exit time."""
-        cfg = self.config
-        tx = packet.size_bytes * 8 / cfg.injection_bandwidth_bps
-        start = max(now, self.injection_busy_until)
-        self.injection_busy_until = start + tx
+        size = packet.size_bytes
+        tx = self._inj_tx_cache.get(size)
+        if tx is None:
+            tx = self._inj_tx_cache[size] = (
+                size * 8 / self.config.injection_bandwidth_bps
+            )
+        busy = self.injection_busy_until
+        start = busy if busy > now else now
+        exit_time = start + tx
+        self.injection_busy_until = exit_time
         self.packets_injected += 1
-        self.bytes_injected += packet.size_bytes
-        return start + tx
+        self.bytes_injected += size
+        return exit_time
 
     # ------------------------------------------------------------------
     # Sink side

@@ -35,13 +35,17 @@ class ContendingFlow(NamedTuple):
     dst: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A unit of transfer through the fabric.
 
     ``path`` is the full source route (router ids, inclusive); ``hop``
     indexes the router currently handling the packet — together they
     implement the multi-header + ``Header_id`` scheme of Fig. 3.16.
+
+    Slotted (``slots=True``) because the simulator keeps thousands in
+    flight and the per-event hot path reads their fields constantly; see
+    docs/performance.md.
     """
 
     src: int
@@ -82,6 +86,8 @@ class Packet:
     acked_created_at: float = 0.0
     acked_retx_seq: int = -1
     pid: int = field(default_factory=lambda: next(_pid_counter))
+    #: lazily cached ``flow()`` result (src/dst never change post-init).
+    _flow: ContendingFlow | None = field(default=None, repr=False, compare=False)
 
     @property
     def size_bits(self) -> int:
@@ -100,7 +106,10 @@ class Packet:
 
     def flow(self) -> ContendingFlow:
         """This packet's own (src, dst) pair, for CFD bookkeeping."""
-        return ContendingFlow(self.src, self.dst)
+        flow = self._flow
+        if flow is None:
+            flow = self._flow = ContendingFlow(self.src, self.dst)
+        return flow
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

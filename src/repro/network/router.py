@@ -32,7 +32,7 @@ from repro.network.packet import DATA, ContendingFlow, Packet
 CFD_COOLDOWN_S = 20e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class OutputPort:
     """FIFO link server plus the statistics the evaluation plots.
 
@@ -50,6 +50,11 @@ class OutputPort:
     queue: deque = field(default_factory=deque)
     #: bytes currently queued (buffer-occupancy bookkeeping).
     occupancy_bytes: int = 0
+    #: per-flow queued bytes, maintained incrementally alongside ``queue``
+    #: (add on occupy, subtract on purge, drop at zero) so the CFD module
+    #: never rescans the queue.  Integer bytes, so the running sums are
+    #: exact and identical to a from-scratch rebuild.
+    flow_bytes: dict = field(default_factory=dict)
     #: cumulative contention statistics.
     total_wait_s: float = 0.0
     packets: int = 0
@@ -83,6 +88,22 @@ class Router:
         #: (router-based GPA); False leaves the destination-based path.
         self.congestion_handler = congestion_handler
         self.ports: dict[tuple[str, int], OutputPort] = {}
+        # Int-keyed views of ``ports`` (maintained by ``port_to``): the
+        # per-hop path avoids building and hashing a ("router", id) tuple.
+        self.router_ports: dict[int, OutputPort] = {}
+        self.host_ports: dict[int, OutputPort] = {}
+        # Hot-path constants hoisted from the config (all are fixed after
+        # NetworkConfig.__post_init__; only max_contending_flows and
+        # cfd_min_share are read live because tests tune them per-port).
+        self._routing_delay_s = config.routing_delay_s
+        self._threshold_s = config.router_threshold_s
+        self._buffer_size = config.buffer_size_bytes
+        self._cut_through = config.cut_through
+        self._ct_header_bytes = config.cut_through_header_bytes
+        self._tx_time_s = config.tx_time_s
+        # Shared with the config's serialization memo: misses fall back to
+        # config.tx_time_s, which fills this same dict.
+        self._tx_cache = config._tx_cache
         # Aggregate, per-router contention statistics (latency maps).
         self.total_wait_s = 0.0
         self.packets_forwarded = 0
@@ -98,6 +119,10 @@ class Router:
         if port is None:
             port = OutputPort(self.router_id, kind, target)
             self.ports[key] = port
+            if kind == "router":
+                self.router_ports[target] = port
+            else:
+                self.host_ports[target] = port
         return port
 
     # ------------------------------------------------------------------
@@ -112,22 +137,69 @@ class Router:
         uncongested hops pipeline while the link still serializes the
         whole body (``busy_until`` always advances by the full
         transmission time).
+
+        The bodies of :meth:`occupy` and :meth:`account` are inlined here
+        (this is the per-packet-hop inner loop); the standalone methods
+        remain the entry points for the VC dispatcher and must stay
+        behaviorally identical to this sequence.
         """
-        cfg = self.config
-        ready = now + cfg.routing_delay_s
-        depart_start = max(ready, port.busy_until)
+        ready = now + self._routing_delay_s
+        busy = port.busy_until
+        depart_start = busy if busy > ready else ready
         wait = depart_start - ready
-        tx = cfg.tx_time_s(packet.size_bytes)
+        size = packet.size_bytes
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self.config.tx_time_s(size)
         depart = depart_start + tx
 
-        self.occupy(packet, port, depart, now)
-        self.account(packet, port, wait, now)
-        if cfg.cut_through and port.target_kind == "router":
+        # --- occupy (inlined) ---
+        queue = port.queue
+        flow_bytes = port.flow_bytes
+        if queue and queue[0][0] <= now:
+            popleft = queue.popleft
+            while queue and queue[0][0] <= now:
+                _, f, s = popleft()
+                port.occupancy_bytes -= s
+                remaining = flow_bytes[f] - s
+                if remaining:
+                    flow_bytes[f] = remaining
+                else:
+                    del flow_bytes[f]
+        if port.occupancy_bytes + size > self._buffer_size:
+            port.overflows += 1
+        flow = packet._flow
+        if flow is None:
+            flow = packet._flow = ContendingFlow(packet.src, packet.dst)
+        queue.append((depart, flow, size))
+        port.occupancy_bytes += size
+        flow_bytes[flow] = flow_bytes.get(flow, 0) + size
+        if depart > port.busy_until:
+            port.busy_until = depart
+
+        # --- account (inlined) ---
+        packet.path_latency += wait
+        port.total_wait_s += wait
+        port.packets += 1
+        port.bytes += size
+        self.total_wait_s += wait
+        self.packets_forwarded += 1
+        self.bytes_forwarded += size
+        if self.wait_observer is not None:
+            self.wait_observer(self.router_id, now, wait)
+        if (
+            wait > self._threshold_s
+            and packet.kind == DATA
+            and now >= port.cfd_quiet_until
+        ):
+            self._cfd(packet, port, wait, now)
+
+        if self._cut_through and port.target_kind == "router":
             # Hand the header to the next router early; final delivery to
             # a host is still timed at the packet tail, so end-to-end
             # latency counts one full serialization.
-            header_tx = cfg.tx_time_s(
-                min(cfg.cut_through_header_bytes, packet.size_bytes)
+            header_tx = self._tx_time_s(
+                min(self._ct_header_bytes, packet.size_bytes)
             )
             return depart_start + header_tx
         return depart
@@ -137,12 +209,19 @@ class Router:
         """Buffer/link occupancy bookkeeping for a packet departing at
         ``depart`` (virtual cut-through buffers whenever the link is
         busy, §2.1.2)."""
-        self._purge(port, now)
-        if port.occupancy_bytes + packet.size_bytes > self.config.buffer_size_bytes:
+        queue = port.queue
+        if queue and queue[0][0] <= now:
+            self._purge(port, now)
+        size = packet.size_bytes
+        if port.occupancy_bytes + size > self._buffer_size:
             port.overflows += 1
-        port.queue.append((depart, packet.flow(), packet.size_bytes))
-        port.occupancy_bytes += packet.size_bytes
-        port.busy_until = max(port.busy_until, depart)
+        flow = packet.flow()
+        queue.append((depart, flow, size))
+        port.occupancy_bytes += size
+        flow_bytes = port.flow_bytes
+        flow_bytes[flow] = flow_bytes.get(flow, 0) + size
+        if depart > port.busy_until:
+            port.busy_until = depart
 
     def account(self, packet: Packet, port: OutputPort, wait: float, now: float) -> None:
         """LU + CFD: record contention latency and detect congestion.
@@ -150,38 +229,43 @@ class Router:
         Shared by the immediate (FIFO) forwarding path and the
         virtual-channel dispatcher.
         """
-        cfg = self.config
+        size = packet.size_bytes
         packet.path_latency += wait
         port.total_wait_s += wait
         port.packets += 1
-        port.bytes += packet.size_bytes
+        port.bytes += size
         self.total_wait_s += wait
         self.packets_forwarded += 1
-        self.bytes_forwarded += packet.size_bytes
+        self.bytes_forwarded += size
         if self.wait_observer is not None:
             self.wait_observer(self.router_id, now, wait)
 
         # CFD: only data packets participate in congestion detection.
         if (
-            packet.kind == DATA
-            and wait > cfg.router_threshold_s
+            wait > self._threshold_s
+            and packet.kind == DATA
             and now >= port.cfd_quiet_until
         ):
-            flows = self._contending_flows(port, packet)
-            port.cfd_quiet_until = now + CFD_COOLDOWN_S
-            handled = False
-            if self.congestion_handler is not None:
-                handled = bool(
-                    self.congestion_handler(self, port, packet, wait, flows, now)
-                )
-            if handled:
-                # Router-based GPA already notified sources; flag the packet
-                # so the destination sends a latency-only ACK (§3.4.2).
-                packet.predictive_bit = True
-            else:
-                # Destination-based: ride the predictive header to the sink.
-                packet.contending = flows
-                packet.reporting_router = self.router_id
+            self._cfd(packet, port, wait, now)
+
+    def _cfd(self, packet: Packet, port: OutputPort, wait: float, now: float) -> None:
+        """Record a congestion episode: snapshot contending flows and
+        notify (router-based GPA or the packet's predictive header)."""
+        flows = self._contending_flows(port, packet)
+        port.cfd_quiet_until = now + CFD_COOLDOWN_S
+        handled = False
+        if self.congestion_handler is not None:
+            handled = bool(
+                self.congestion_handler(self, port, packet, wait, flows, now)
+            )
+        if handled:
+            # Router-based GPA already notified sources; flag the packet
+            # so the destination sends a latency-only ACK (§3.4.2).
+            packet.predictive_bit = True
+        else:
+            # Destination-based: ride the predictive header to the sink.
+            packet.contending = flows
+            packet.reporting_router = self.router_id
 
     # ------------------------------------------------------------------
     # On/Off flow control (§2.1.3)
@@ -189,7 +273,7 @@ class Router:
     def buffer_available(self, port: OutputPort, size_bytes: int, now: float) -> bool:
         """True when the output buffer can admit ``size_bytes`` now."""
         self._purge(port, now)
-        return port.occupancy_bytes + size_bytes <= self.config.buffer_size_bytes
+        return port.occupancy_bytes + size_bytes <= self._buffer_size
 
     def next_drain_time(self, port: OutputPort, now: float) -> float:
         """Earliest time at which buffer space frees (strictly > now)."""
@@ -202,9 +286,15 @@ class Router:
     # ------------------------------------------------------------------
     def _purge(self, port: OutputPort, now: float) -> None:
         queue = port.queue
+        flow_bytes = port.flow_bytes
         while queue and queue[0][0] <= now:
-            _, _, size = queue.popleft()
+            _, flow, size = queue.popleft()
             port.occupancy_bytes -= size
+            remaining = flow_bytes[flow] - size
+            if remaining:
+                flow_bytes[flow] = remaining
+            else:
+                del flow_bytes[flow]
 
     def _contending_flows(self, port: OutputPort, packet: Packet) -> list[ContendingFlow]:
         """Dominant flows currently sharing ``port``'s queue (§3.2.7).
@@ -212,11 +302,17 @@ class Router:
         Flows are ranked by queued bytes (their contribution to the
         congestion); at most ``max_contending_flows`` unique pairs are
         reported, always including the suffering packet's own flow.
+
+        Reads the incrementally maintained ``port.flow_bytes`` map instead
+        of rescanning the queue; the ranking key is a total order, so the
+        result is independent of dict insertion order.
         """
-        shares: dict[ContendingFlow, int] = {}
-        for _, flow, size in port.queue:
-            shares[flow] = shares.get(flow, 0) + size
-        shares.setdefault(packet.flow(), packet.size_bytes)
+        shares: dict[ContendingFlow, int] = port.flow_bytes
+        if packet.flow() not in shares:
+            # Rare: the sufferer already fully drained from the queue.
+            # Work on a copy so the live accounting stays untouched.
+            shares = dict(shares)
+            shares[packet.flow()] = packet.size_bytes
         total = sum(shares.values())
         min_bytes = total * self.config.cfd_min_share
         ranked = sorted(

@@ -24,7 +24,7 @@ from repro.network.packet import Packet
 from repro.network.router import OutputPort, Router
 
 
-@dataclass
+@dataclass(slots=True)
 class _PortVCState:
     """Arbitration state for one output port."""
 

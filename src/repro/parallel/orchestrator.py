@@ -447,7 +447,9 @@ def default_executor() -> Optional[SweepExecutor]:
 
     ``REPRO_PARALLEL_WORKERS`` (int >= 2) turns on process-pool execution
     for every integrated surface (experiment scenarios, fault campaigns,
-    benchmarks); ``REPRO_CACHE_DIR`` adds the on-disk result cache.
+    benchmarks); ``REPRO_CACHE_DIR`` adds the on-disk result cache.  The
+    worker count is clamped to ``os.cpu_count()``: oversubscribing a small
+    box only adds scheduler churn to CPU-bound simulation cells.
     """
     try:
         workers = int(os.environ.get("REPRO_PARALLEL_WORKERS", "0"))
@@ -455,6 +457,9 @@ def default_executor() -> Optional[SweepExecutor]:
         return None
     if workers < 2:
         return None
+    cpu_count = os.cpu_count()
+    if cpu_count is not None and workers > cpu_count:
+        workers = max(2, cpu_count)
     return SweepExecutor(
         config=SweepConfig(
             workers=workers, cache_dir=os.environ.get("REPRO_CACHE_DIR")

@@ -189,7 +189,9 @@ def make_topology(spec: str):
     Specs: ``mesh:8``, ``torus:8``, ``fattree:4,3``, ``slimtree:4,3,0.5``,
     ``hypercube:6``.  Each call returns a fresh instance (factory
     semantics), so a spec can replace the ``topology_factory`` callables
-    used throughout :mod:`repro.experiments`.
+    used throughout :mod:`repro.experiments`.  The instance comes with its
+    route cache pre-enabled (see ``Topology.enable_route_cache``): workers
+    answer the same minimal-route queries for every packet of a cell.
     """
     name, _, arg_text = spec.partition(":")
     builder = _TOPOLOGY_BUILDERS.get(name.strip())
@@ -200,6 +202,8 @@ def make_topology(spec: str):
         )
     try:
         args = [float(part) for part in arg_text.split(",") if part.strip()]
-        return builder(args)
+        topology = builder(args)
     except (ValueError, IndexError, TypeError) as exc:
         raise ValueError(f"bad topology spec {spec!r}: {exc}") from exc
+    topology.enable_route_cache()
+    return topology

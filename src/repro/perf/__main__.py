@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.perf`` (see package docstring)."""
+
+import sys
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

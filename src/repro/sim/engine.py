@@ -7,42 +7,125 @@ by ``(time, priority, sequence)``.  Model components schedule callbacks with
 among simultaneous events, which keeps whole simulations reproducible for a
 given seed — a requirement for the paper's repeated-burst experiments, where
 run-to-run comparability matters.
+
+Hot-path design (see docs/performance.md for the measured ledger):
+
+* an :class:`Event` *is* its own heap entry — a ``list`` subclass laid out
+  as ``[time, priority, sequence, fn, args, cancelled]`` — so the calendar
+  holds one object per event instead of a ``(key, Event)`` pair, heap
+  comparisons stay element-wise C ``list`` comparisons (``sequence`` is
+  unique, so ``fn``/``args`` are never compared), and the dispatch loop
+  indexes fields instead of chasing attributes;
+* executed and cancelled-skipped events are recycled through a freelist, so
+  steady-state simulation allocates no event objects at all;
+* :meth:`Simulator.run` hoists every loop-invariant lookup and re-reads only
+  the state a callback can legitimately change (``_stopped``,
+  ``event_hook``).
+
+Every optimization here is digest-gated: ``python -m repro.perf`` replays a
+seeded scenario suite and fails on any drift in the event-trace or metrics
+digests (see :mod:`repro.analysis.replay`).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import math
 from typing import Any, Callable, Optional
 
 #: Signature of :attr:`Simulator.event_hook` observers.
 EventHook = Callable[["Event"], None]
+
+#: Field offsets inside an :class:`Event` heap entry.
+_TIME, _PRIORITY, _SEQUENCE, _FN, _ARGS, _CANCELLED = range(6)
+
+
+def _never(*_args: Any) -> None:  # pragma: no cover - must never fire
+    raise AssertionError("recycled event fired with a cleared callback")
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (negative delays, past times)."""
 
 
-@dataclass
-class Event:
-    """A scheduled callback.
+class Event(list):
+    """A scheduled callback: ``[time, priority, sequence, fn, args, cancelled]``.
 
     Ordering is by ``time``, then ``priority`` (lower first), then insertion
-    ``sequence`` so that ties resolve FIFO.  The engine keeps that key as a
-    plain tuple next to the event in its heap — profiling showed generated
-    dataclass comparisons dominating the calendar's cost.
+    ``sequence`` so that ties resolve FIFO.  The event is pushed onto the
+    calendar heap *directly*; ``list`` comparison resolves the ordering in C
+    without ever reaching the non-comparable ``fn``/``args`` fields because
+    ``sequence`` is unique per simulator.
+
+    Lifetime contract: the handle returned by :meth:`Simulator.schedule` is
+    valid for :meth:`cancel` until the event has fired (cancelling from
+    inside the event's own callback is also safe — recycling happens only
+    after the callback returns).  Once the callback has run, the engine may
+    *reuse* the object for a future, unrelated event; holders must therefore
+    drop (or overwrite) their reference when the callback fires and must not
+    cancel an event they know has already executed.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        return self[_TIME]
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self[_TIME] = value
+
+    @property
+    def priority(self) -> int:
+        return self[_PRIORITY]
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        self[_PRIORITY] = value
+
+    @property
+    def sequence(self) -> int:
+        return self[_SEQUENCE]
+
+    @sequence.setter
+    def sequence(self, value: int) -> None:
+        self[_SEQUENCE] = value
+
+    @property
+    def fn(self) -> Callable[..., None]:
+        return self[_FN]
+
+    @fn.setter
+    def fn(self, value: Callable[..., None]) -> None:
+        self[_FN] = value
+
+    @property
+    def args(self) -> tuple:
+        return self[_ARGS]
+
+    @args.setter
+    def args(self, value: tuple) -> None:
+        self[_ARGS] = value
+
+    @property
+    def cancelled(self) -> bool:
+        return self[_CANCELLED]
+
+    @cancelled.setter
+    def cancelled(self, value: bool) -> None:
+        self[_CANCELLED] = value
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        self[_CANCELLED] = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self[_CANCELLED] else "live"
+        return (
+            f"<Event t={self[_TIME]!r} prio={self[_PRIORITY]} "
+            f"seq={self[_SEQUENCE]} {state}>"
+        )
 
 
 class Simulator:
@@ -56,8 +139,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = start_time
-        #: heap of (time, priority, sequence, Event) tuples.
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: heap of :class:`Event` entries (each event is its own heap key).
+        self._queue: list[Event] = []
+        #: recycled events awaiting reuse; bounds allocation to the peak
+        #: number of simultaneously pending events.
+        self._free: list[Event] = []
         self._sequence: int = 0
         self._events_executed: int = 0
         self._running: bool = False
@@ -82,7 +168,22 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+        time = self.now + delay
+        seq = self._sequence
+        self._sequence = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event[_TIME] = time
+            event[_PRIORITY] = priority
+            event[_SEQUENCE] = seq
+            event[_FN] = fn
+            event[_ARGS] = args
+            event[_CANCELLED] = False
+        else:
+            event = Event((time, priority, seq, fn, args, False))
+        heapq.heappush(self._queue, event)
+        return event
 
     def schedule_at(
         self,
@@ -96,10 +197,33 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, clock already at {self.now!r}"
             )
-        event = Event(time, priority, self._sequence, fn, args)
-        heapq.heappush(self._queue, (time, priority, self._sequence, event))
-        self._sequence += 1
+        seq = self._sequence
+        self._sequence = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event[_TIME] = time
+            event[_PRIORITY] = priority
+            event[_SEQUENCE] = seq
+            event[_FN] = fn
+            event[_ARGS] = args
+            event[_CANCELLED] = False
+        else:
+            event = Event((time, priority, seq, fn, args, False))
+        heapq.heappush(self._queue, event)
         return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a popped event to the freelist with its payload cleared.
+
+        Clearing ``fn``/``args`` guarantees a recycled event can never fire
+        with a stale callback and releases references promptly; a late
+        :meth:`Event.cancel` on a freelisted event is harmless because
+        scheduling resets the flag.
+        """
+        event[_FN] = _never
+        event[_ARGS] = ()
+        self._free.append(event)
 
     # ------------------------------------------------------------------
     # Execution
@@ -110,36 +234,56 @@ class Simulator:
         Stops when the queue empties, when the next event would pass
         ``until`` (the clock is then advanced to ``until``), after
         ``max_events`` callbacks, or when :meth:`stop` is called from inside
-        a callback.  Returns the number of events executed by this call.
+        a callback.  Cancelled placeholders are skipped without counting
+        toward ``max_events``.  Returns the number of events executed by
+        this call.
         """
         executed = 0
         self._running = True
         self._stopped = False
+        queue = self._queue
+        free = self._free
+        pop = heapq.heappop
+        # Hoist the per-iteration Optional checks: an infinite bound makes
+        # ``event_time > bound`` unreachable when no limit was given, and
+        # the ``self.now = until`` assignment under it then never runs.
+        bound = math.inf if until is None else until
+        limit = math.inf if max_events is None else max_events
         try:
-            while self._queue:
-                if self._stopped:
+            while queue:
+                if self._stopped or executed >= limit:
                     break
-                if max_events is not None and executed >= max_events:
+                event = queue[0]
+                if event[_TIME] > bound:
+                    self.now = until  # type: ignore[assignment]
                     break
-                head = self._queue[0]
-                if until is not None and head[0] > until:
-                    self.now = until
-                    break
-                heapq.heappop(self._queue)
-                event = head[3]
-                if event.cancelled:
+                pop(queue)
+                if event[_CANCELLED]:
+                    event[_FN] = _never
+                    event[_ARGS] = ()
+                    free.append(event)
                     continue
-                self.now = event.time
-                if self.event_hook is not None:
-                    self.event_hook(event)
-                event.fn(*event.args)
+                self.now = event[_TIME]
+                hook = self.event_hook
+                if hook is not None:
+                    hook(event)
+                fn = event[_FN]
+                args = event[_ARGS]
+                fn(*args)
                 executed += 1
-                self._events_executed += 1
+                # Recycle only after the callback ran: a cancel() from
+                # inside the callback must stay a harmless no-op.
+                event[_FN] = _never
+                event[_ARGS] = ()
+                free.append(event)
             else:
                 if until is not None and self.now < until:
                     self.now = until
         finally:
             self._running = False
+            # Flushed once instead of per event; every reader of
+            # ``events_executed`` observes the total after run() returns.
+            self._events_executed += executed
         return executed
 
     def step(self) -> bool:
@@ -152,15 +296,18 @@ class Simulator:
         """
         if self._stopped:
             return False
-        while self._queue:
-            event = heapq.heappop(self._queue)[3]
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event[_CANCELLED]:
+                self._recycle(event)
                 continue
-            self.now = event.time
+            self.now = event[_TIME]
             if self.event_hook is not None:
                 self.event_hook(event)
-            event.fn(*event.args)
+            event[_FN](*event[_ARGS])
             self._events_executed += 1
+            self._recycle(event)
             return True
         return False
 
@@ -199,8 +346,9 @@ class Simulator:
         (besides execution itself) that removes entries from the calendar.
         """
         discarded = 0
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][_CANCELLED]:
+            self._recycle(heapq.heappop(queue))
             discarded += 1
         return discarded
 
@@ -212,4 +360,4 @@ class Simulator:
         unaffected, but ``pending`` may decrease.
         """
         self.compact_head()
-        return self._queue[0][0] if self._queue else None
+        return self._queue[0][_TIME] if self._queue else None

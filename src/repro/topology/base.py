@@ -150,6 +150,59 @@ class Topology(ABC):
         return tuple(full)
 
     # ------------------------------------------------------------------
+    # Hot-path memoization
+    # ------------------------------------------------------------------
+    def enable_route_cache(self) -> None:
+        """Memoize the pure routing queries on *this instance*.
+
+        Topologies are immutable once constructed, and the fabric asks the
+        same ``minimal_route`` / ``minimal_next_hops`` / ``host_router``
+        questions for every packet — memoizing them turns per-packet graph
+        walks into dict lookups (see docs/performance.md).  Installed
+        automatically by :class:`repro.network.fabric.Fabric` and by
+        :func:`repro.parallel.tasks.make_topology`; idempotent.
+
+        ``alternative_paths`` hits return a fresh list each call (the
+        cached paths themselves are immutable tuples), so callers that
+        mutate the returned list cannot corrupt the cache.
+        """
+        if self.__dict__.get("_route_cache_enabled"):
+            return
+        self.__dict__["_route_cache_enabled"] = True
+        for name in (
+            "host_router",
+            "router_neighbors",
+            "minimal_route",
+            "distance",
+            "minimal_next_hops",
+        ):
+            fn = getattr(self, name)
+            cache: dict = {}
+
+            def memo(*args, _fn=fn, _cache=cache):
+                hit = _cache.get(args)
+                if hit is None:
+                    hit = _cache[args] = _fn(*args)
+                return hit
+
+            memo.__name__ = f"{name}_memo"
+            self.__dict__[name] = memo
+        alt = self.alternative_paths
+        alt_cache: dict = {}
+
+        def alternative_paths_memo(
+            src_host: int, dst_host: int, max_paths: int,
+            _fn=alt, _cache=alt_cache,
+        ) -> list[Path]:
+            key = (src_host, dst_host, max_paths)
+            hit = _cache.get(key)
+            if hit is None:
+                hit = _cache[key] = tuple(_fn(src_host, dst_host, max_paths))
+            return list(hit)
+
+        self.__dict__["alternative_paths"] = alternative_paths_memo
+
+    # ------------------------------------------------------------------
     # Validation helpers (used by tests and the fabric)
     # ------------------------------------------------------------------
     def validate_path(self, path: Iterable[int]) -> bool:

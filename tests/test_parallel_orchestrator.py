@@ -178,3 +178,40 @@ class TestPooledSweep:
         assert report.outcomes[0].status == "failed"
         assert report.failures[-1].reason == "timeout"
         assert report.failures[-1].final
+
+
+class TestDefaultExecutor:
+    """Environment-driven executor config, including the cpu_count clamp."""
+
+    def test_disabled_without_env(self, monkeypatch):
+        from repro.parallel import default_executor
+
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert default_executor() is None
+
+    def test_bad_value_disables(self, monkeypatch):
+        from repro.parallel import default_executor
+
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "lots")
+        assert default_executor() is None
+
+    def test_workers_clamped_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.parallel import default_executor
+
+        cpu_count = os.cpu_count() or 1
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", str(cpu_count + 64))
+        executor = default_executor()
+        assert executor is not None
+        # Never oversubscribe, but keep the >= 2 floor that makes a pool
+        # a pool even on a single-core box.
+        assert executor.config.workers == max(2, cpu_count)
+
+    def test_workers_within_cpu_count_untouched(self, monkeypatch):
+        from repro.parallel import default_executor
+
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        executor = default_executor()
+        assert executor is not None
+        assert executor.config.workers == 2

@@ -195,3 +195,103 @@ def test_peek_time_compacts_explicitly():
 def test_peek_time_empty_queue():
     sim = Simulator()
     assert sim.peek_time() is None
+
+
+# ----------------------------------------------------------------------
+# Event recycling (freelist) x cancellation
+# ----------------------------------------------------------------------
+
+def test_recycled_event_never_fires_stale_callback():
+    """A cancelled event's recycled object must carry nothing of its past
+    life: the next schedule() reusing it fires the *new* fn/args only."""
+    sim = Simulator()
+    stale_calls = []
+    doomed = sim.schedule(1.0, stale_calls.append, "stale")
+    doomed.cancel()
+    sim.run()  # recycles the cancelled event through the freelist
+    assert stale_calls == []
+
+    fresh_calls = []
+    reused = sim.schedule(1.0, fresh_calls.append, "fresh")
+    assert reused is doomed  # the same object, recycled
+    assert reused.cancelled is False  # scheduling reset the flag
+    sim.run()
+    assert fresh_calls == ["fresh"]
+    assert stale_calls == []
+
+
+def test_recycled_event_cleared_between_lives():
+    """Between recycling and reuse the payload is wiped: a bug that fired
+    a freelisted event would hit the sentinel, not a stale callback."""
+    sim = Simulator()
+    payload = {"leaked": False}
+
+    def cb(p):
+        p["leaked"] = True
+
+    ev = sim.schedule(0.5, cb, payload)
+    ev.cancel()
+    sim.run()
+    assert payload["leaked"] is False
+    assert ev.args == ()  # dropped promptly, no lingering reference
+    with pytest.raises(AssertionError):
+        ev.fn()  # the sentinel refuses to run
+
+
+def test_executed_event_recycled_and_reused():
+    sim = Simulator()
+    order = []
+    first = sim.schedule(1.0, order.append, "first")
+    sim.run()
+    second = sim.schedule(1.0, order.append, "second")
+    assert second is first
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_cancel_from_own_callback_is_harmless():
+    """Recycling happens only after the callback returns, so an event
+    cancelling *itself* mid-callback corrupts nothing."""
+    sim = Simulator()
+    order = []
+    holder = {}
+
+    def self_cancel():
+        order.append("ran")
+        holder["ev"].cancel()
+
+    holder["ev"] = sim.schedule(1.0, self_cancel)
+    sim.schedule(2.0, order.append, "after")
+    sim.run()
+    assert order == ["ran", "after"]
+    # The recycled object is reusable and starts un-cancelled.
+    again = sim.schedule(1.0, order.append, "again")
+    assert again.cancelled is False
+    sim.run()
+    assert order == ["ran", "after", "again"]
+
+
+def test_cancelled_skips_do_not_count_toward_max_events():
+    """max_events budgets *executed* callbacks; cancelled placeholders
+    popped along the way are free."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(1.0 + i, fired.append, i).cancel()
+    for i in range(3):
+        sim.schedule(10.0 + i, fired.append, 100 + i)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert fired == [100, 101, 102]
+    assert sim.events_executed == 3
+
+
+def test_step_skips_cancelled_without_counting():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "x").cancel()
+    sim.schedule(2.0, fired.append, "y")
+    assert sim.step() is True  # one *live* event executed
+    assert fired == ["y"]
+    assert sim.events_executed == 1
+    assert sim.step() is False
