@@ -1,0 +1,119 @@
+"""Benchmark: observability overhead on the pinned hot-spot workload.
+
+Measures the same :mod:`repro.perf` pinned workload three ways — tracing
+off, tracing into a memory-backed :class:`~repro.obs.Tracer`, and tracing
+plus a cadence-snapshotting :class:`~repro.obs.MetricsRegistry` — and
+records the event-rate cost of each into ``BENCH_obs.json`` at the repo
+root.  Before timing anything it asserts the PR's two invariants:
+
+* tracing **off** leaves the ``repro.perf`` digests bit-identical to the
+  committed baseline (the instrumentation guard is one ``is not None``
+  branch per site);
+* tracing **on** does not alter simulated behavior — the replay digests
+  of a traced and an untraced run are equal.
+
+Standalone:
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        [--policy pr-drb] [--events 200000] [--repeats 3] [--out BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+from repro.perf import run_pinned_workload
+
+
+def bench_traced_pinned_run(benchmark):
+    """pytest-benchmark entry: pinned pr-drb workload with a live tracer."""
+
+    def run():
+        tracer = Tracer()
+        return run_pinned_workload("pr-drb", 60_000, tracer=tracer)
+
+    executed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert executed == 60_000
+
+
+def _rate(policy: str, events: int, repeats: int, mode: str) -> float:
+    """Best-of-``repeats`` event rate (events/sec CPU) for one mode."""
+    best = 0.0
+    for _ in range(repeats):
+        tracer = None
+        metrics = None
+        cadence = None
+        if mode in ("traced", "traced+metrics"):
+            tracer = Tracer(sinks=[MemorySink()])
+        if mode == "traced+metrics":
+            metrics = MetricsRegistry()
+            cadence = 5e-5
+        start = time.process_time()
+        executed = run_pinned_workload(
+            policy, events, tracer=tracer, metrics=metrics,
+            metrics_cadence_s=cadence,
+        )
+        elapsed = time.process_time() - start
+        if elapsed > 0:
+            best = max(best, executed / elapsed)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--policy", default="pr-drb")
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    # Invariant 1: tracing off keeps the committed perf digests.
+    from repro.perf import check_digests, load_baseline
+
+    digest_results = check_digests([args.policy], load_baseline())
+    assert digest_results[args.policy]["ok"], "digest drift: see repro.perf"
+
+    # Invariant 2: tracing on does not perturb behavior.
+    from repro.analysis.replay import run_scenario
+
+    bare = run_scenario(seed=0, policy=args.policy, repetitions=2)
+    traced = run_scenario(
+        seed=0, policy=args.policy, repetitions=2, tracer=Tracer()
+    )
+    assert bare.events == traced.events and bare.metrics == traced.metrics
+
+    rates = {
+        mode: _rate(args.policy, args.events, args.repeats, mode)
+        for mode in ("off", "traced", "traced+metrics")
+    }
+    overhead = {
+        mode: (rates["off"] - rate) / rates["off"] if rates["off"] else 0.0
+        for mode, rate in rates.items()
+        if mode != "off"
+    }
+    report = {
+        "benchmark": "obs_overhead",
+        "policy": args.policy,
+        "events": args.events,
+        "repeats": args.repeats,
+        "events_per_s": {k: round(v, 1) for k, v in rates.items()},
+        "overhead_fraction": {k: round(v, 4) for k, v in overhead.items()},
+        "digests_bit_identical_tracing_off": True,
+        "behavior_identical_tracing_on": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for mode, rate in rates.items():
+        extra = (
+            f"  ({overhead[mode]:+.1%} vs off)" if mode in overhead else ""
+        )
+        print(f"{mode:16s} {rate:12,.0f} events/sec{extra}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,11 @@ def main() -> None:
     parser.add_argument("--dump", default=None,
                         help="also dump raw .prof stats (plus a .txt "
                         "rendering) to this path")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="additionally run the same workload once more "
+                        "with repro.obs tracing (un-profiled, so the profile "
+                        "stays clean) and write a Perfetto trace JSON here — "
+                        "load it at ui.perfetto.dev")
     args = parser.parse_args()
 
     start = time.process_time()
@@ -52,6 +57,16 @@ def main() -> None:
     if args.dump:
         write_profile(profiler, args.dump, top=args.top)
         print(f"raw stats: {args.dump} (text: {args.dump}.txt)")
+    if args.trace:
+        from repro.obs import MemorySink, Tracer, write_perfetto
+
+        memory = MemorySink()
+        tracer = Tracer(sinks=[memory])
+        run_pinned_workload(args.policy, args.events, tracer=tracer)
+        write_perfetto(args.trace, memory.records,
+                       label=f"profile_sim:{args.policy}")
+        print(f"perfetto trace: {args.trace} ({len(memory.records)} records; "
+              f"open at ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -62,7 +62,6 @@ class DebugInvariants:
         self.events_seen = 0
         self._last_event_time = float("-inf")
         self._installed = False
-        self._prior_hook = None
 
     # ------------------------------------------------------------------
     # Installation
@@ -72,8 +71,7 @@ class DebugInvariants:
         if self._installed:
             return self
         self._installed = True
-        self._prior_hook = self.sim.event_hook
-        self.sim.event_hook = self._on_event
+        self.sim.add_observer(self._on_event)
         policy = self.fabric.policy
         if hasattr(policy, "flow_state") and hasattr(policy, "flows"):
             self._instrument_policy(policy)
@@ -81,7 +79,7 @@ class DebugInvariants:
 
     def uninstall(self) -> None:
         if self._installed:
-            self.sim.event_hook = self._prior_hook
+            self.sim.remove_observer(self._on_event)
             self._installed = False
 
     # ------------------------------------------------------------------
@@ -102,8 +100,6 @@ class DebugInvariants:
         self.events_seen += 1
         if self.events_seen % self.check_interval_events == 0:
             self.check(current_event=event)
-        if self._prior_hook is not None:
-            self._prior_hook(event)
 
     # ------------------------------------------------------------------
     # State-scan checks

@@ -89,14 +89,7 @@ class EventTraceDigest:
         self.events = 0
 
     def install(self, sim) -> "EventTraceDigest":
-        prior = sim.event_hook
-
-        def hook(event) -> None:
-            self.update(event)
-            if prior is not None:
-                prior(event)
-
-        sim.event_hook = hook
+        sim.add_observer(self.update)
         return self
 
     def update(self, event) -> None:
@@ -161,6 +154,9 @@ def run_scenario(
     mesh_side: int = 4,
     repetitions: int = 3,
     with_invariants: bool = False,
+    tracer=None,
+    metrics=None,
+    metrics_cadence_s: float | None = None,
 ) -> RunDigest:
     """One complete small-mesh hot-spot run, fully seeded, digested.
 
@@ -168,6 +164,11 @@ def run_scenario(
     uniform background noise through repeated bursts — small enough for a
     sub-second run, busy enough to exercise ACK notification, metapath
     expansion and (for ``pr-drb``) solution save/replay.
+
+    ``tracer``/``metrics`` install :mod:`repro.obs` observation on the
+    run.  Observation never perturbs behavior, so the returned digests
+    are identical with or without it — ``repro.obs selftest`` checks
+    exactly that through this entry point.
     """
     from repro.metrics.recorder import StatsRecorder
     from repro.network.config import NetworkConfig
@@ -196,6 +197,10 @@ def run_scenario(
         recorder=recorder,
         notification="router",
     )
+    if tracer is not None or metrics is not None:
+        from repro.obs import instrument
+
+        instrument(fabric, tracer, metrics, cadence_s=metrics_cadence_s)
     invariants = None
     if with_invariants:
         from repro.analysis.invariants import DebugInvariants

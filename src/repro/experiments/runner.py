@@ -269,6 +269,7 @@ def _build(
     window_s: float,
     track_routers: bool,
     policy_kwargs: dict,
+    tracer=None,
 ) -> tuple[Fabric, StatsRecorder, Simulator]:
     sim = Simulator()
     recorder = StatsRecorder(window_s=window_s, track_router_series=track_routers)
@@ -280,6 +281,10 @@ def _build(
         recorder=recorder,
         notification=notification,
     )
+    if tracer is not None:
+        from repro.obs import instrument
+
+        instrument(fabric, tracer)
     return fabric, recorder, sim
 
 
@@ -300,6 +305,7 @@ def run_pattern_workload(
     idle_rate_mbps: float = 0.0,
     policy_kwargs: Optional[dict] = None,
     executor=None,
+    tracer=None,
 ) -> dict[str, PolicyRun]:
     """Permutation-traffic comparison (§4.6.3, Table 4.3 runs).
 
@@ -332,7 +338,7 @@ def run_pattern_workload(
         for seed in seeds:
             fabric, recorder, sim = _build(
                 topology_factory, name, config, notification,
-                window_s, track_routers, policy_kwargs or {},
+                window_s, track_routers, policy_kwargs or {}, tracer=tracer,
             )
             streams = RandomStreams(seed)
             host_list = list(hosts) if hosts is not None else list(
@@ -370,6 +376,7 @@ def run_hotspot_workload(
     track_routers: bool = False,
     policy_kwargs: Optional[dict] = None,
     executor=None,
+    tracer=None,
 ) -> dict[str, PolicyRun]:
     """Hot-spot specific-pattern comparison (§4.5, §4.6.2).
 
@@ -404,7 +411,7 @@ def run_hotspot_workload(
         for seed in seeds:
             fabric, recorder, sim = _build(
                 topology_factory, name, config, notification,
-                window_s, track_routers, policy_kwargs or {},
+                window_s, track_routers, policy_kwargs or {}, tracer=tracer,
             )
             streams = RandomStreams(seed)
             workload = HotSpotWorkload(

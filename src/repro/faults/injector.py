@@ -111,6 +111,7 @@ class FaultInjector:
         link = (min(a, b), max(a, b))
         self.fabric.fail_link(a, b)
         self.log.append((self.sim.now, "fail", f"link {link[0]}-{link[1]}"))
+        self._trace("fault.fail", link)
         if link not in self._open:
             episode = FaultEpisode(link=link, failed_at_s=self.sim.now)
             self._open[link] = episode
@@ -120,6 +121,7 @@ class FaultInjector:
         link = (min(a, b), max(a, b))
         self.fabric.restore_link(a, b)
         self.log.append((self.sim.now, "restore", f"link {link[0]}-{link[1]}"))
+        self._trace("fault.restore", link)
         episode = self._open.pop(link, None)
         if episode is not None:
             episode.restored_at_s = self.sim.now
@@ -130,12 +132,26 @@ class FaultInjector:
             (self.sim.now, "degrade",
              f"link {min(a, b)}-{max(a, b)} +{extra_delay_s:.3e}s")
         )
+        self._trace(
+            "fault.degrade", (min(a, b), max(a, b)), extra_delay_s=extra_delay_s
+        )
 
     def _restore_quality(self, a: int, b: int) -> None:
         self.fabric.restore_link_quality(a, b)
         self.log.append(
             (self.sim.now, "undegrade", f"link {min(a, b)}-{max(a, b)}")
         )
+        self._trace("fault.undegrade", (min(a, b), max(a, b)))
+
+    def _trace(self, name: str, link: tuple[int, int], **extra) -> None:
+        tracer = self.fabric.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now,
+                name,
+                ("fabric", 0),
+                args={"link": list(link), **extra},
+            )
 
     def _filter(self, packet, now: float):
         for fn in self._filters:

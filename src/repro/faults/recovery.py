@@ -139,12 +139,27 @@ class ReliableTransport:
         # The outstanding copy is written off either way; a fresh send (if
         # any) re-registers itself through select_path.
         self.fabric.policy.on_timeout(src, dst, now)
+        tracer = self.fabric.tracer
         if entry.retries >= self.config.max_retries:
             del self._pending[pkey]
             self.abandoned += 1
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "retx.abandon",
+                    ("flow", f"{src}-{dst}"),
+                    args={"seq": _seq, "retries": entry.retries},
+                )
             return
         entry.retries += 1
         self.retransmissions += 1
+        if tracer is not None:
+            tracer.emit(
+                now,
+                "retx.send",
+                ("flow", f"{src}-{dst}"),
+                args={"seq": _seq, "retries": entry.retries, "nacks": entry.nacks},
+            )
         old = entry.packet
         path, msp_index = self.fabric.policy.select_path(
             src, dst, old.size_bytes, now

@@ -27,6 +27,16 @@ class RunningAverage:
     def __float__(self) -> float:
         return self.mean
 
+    def to_dict(self) -> dict:
+        return {"count": self.count, "mean": self.mean}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunningAverage":
+        avg = cls()
+        avg.count = int(data["count"])
+        avg.mean = float(data["mean"])
+        return avg
+
 
 class GlobalAverageLatency:
     """Eq. 4.2: average over the per-destination-node averages."""
@@ -59,3 +69,17 @@ class GlobalAverageLatency:
 
     def per_destination(self) -> dict[int, float]:
         return {d: avg.mean for d, avg in self._per_destination.items()}
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready form (destination keys become strings)."""
+        return {
+            str(d): self._per_destination[d].to_dict()
+            for d in sorted(self._per_destination)
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GlobalAverageLatency":
+        gal = cls()
+        for dest, encoded in data.items():
+            gal._per_destination[int(dest)] = RunningAverage.from_dict(encoded)
+        return gal

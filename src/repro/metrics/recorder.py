@@ -53,6 +53,31 @@ class TimeSeries:
         self._window_index = -1
         return np.array(self.times), np.array(self.values)
 
+    def to_dict(self) -> dict:
+        """Lossless snapshot, open-window accumulator included.
+
+        Unlike :meth:`finalize` this never mutates: it can run mid-sim
+        (the obs cadence snapshots do) without perturbing the series.
+        """
+        return {
+            "window_s": self.window_s,
+            "times": list(self.times),
+            "values": list(self.values),
+            "open_sum": self._sum,
+            "open_count": self._count,
+            "open_window_index": self._window_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeSeries":
+        series = cls(window_s=float(data["window_s"]))
+        series.times = [float(t) for t in data["times"]]
+        series.values = [float(v) for v in data["values"]]
+        series._sum = float(data["open_sum"])
+        series._count = int(data["open_count"])
+        series._window_index = int(data["open_window_index"])
+        return series
+
 
 class StatsRecorder:
     """Fabric-attached collector of the paper's metrics."""
@@ -135,3 +160,56 @@ class StatsRecorder:
                 for reason in sorted(self.drops_by_reason)
             }
         return summary
+
+    # ------------------------------------------------------------------
+    # Serialization (shared by experiment reports and repro.obs snapshots)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready state, windowed series included.
+
+        Never mutates (see :meth:`TimeSeries.to_dict`), so the obs
+        cadence can embed it in every snapshot; :meth:`from_dict`
+        round-trips exactly.
+        """
+        return {
+            "window_s": self.window_s,
+            "track_router_series": self.track_router_series,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "packets_dropped": self.packets_dropped,
+            "drops_by_reason": {
+                reason: self.drops_by_reason[reason]
+                for reason in sorted(self.drops_by_reason)
+            },
+            "latencies": list(self.latencies),
+            "first_delivery_t": self.first_delivery_t,
+            "last_delivery_t": self.last_delivery_t,
+            "global_latency": self.global_latency.to_dict(),
+            "latency_series": self.latency_series.to_dict(),
+            "router_series": {
+                str(r): self.router_series[r].to_dict()
+                for r in sorted(self.router_series)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsRecorder":
+        recorder = cls(
+            window_s=float(data["window_s"]),
+            track_router_series=bool(data["track_router_series"]),
+        )
+        recorder.packets_injected = int(data["packets_injected"])
+        recorder.packets_delivered = int(data["packets_delivered"])
+        recorder.packets_dropped = int(data["packets_dropped"])
+        recorder.drops_by_reason = dict(data["drops_by_reason"])
+        recorder.latencies = [float(v) for v in data["latencies"]]
+        first = data["first_delivery_t"]
+        recorder.first_delivery_t = None if first is None else float(first)
+        recorder.last_delivery_t = float(data["last_delivery_t"])
+        recorder.global_latency = GlobalAverageLatency.from_dict(
+            data["global_latency"]
+        )
+        recorder.latency_series = TimeSeries.from_dict(data["latency_series"])
+        for router, encoded in data["router_series"].items():
+            recorder.router_series[int(router)] = TimeSeries.from_dict(encoded)
+        return recorder

@@ -79,6 +79,9 @@ class Fabric:
         self.sim = sim
         self.recorder = recorder
         self.notification = notification
+        #: optional :class:`repro.obs.tracer.Tracer` (installed by
+        #: :func:`repro.obs.instrument`); every emit below guards on it.
+        self.tracer = None
         # Hot-path constants (fixed after construction; see
         # docs/performance.md).  flow_control and the policy's per_hop
         # flag never change once the fabric exists.
@@ -200,6 +203,13 @@ class Fabric:
                 self.recorder.on_data_injected(packet, self.sim.now)
             if self.transport is not None:
                 self.transport.on_inject(packet, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now,
+                    "packet.inject",
+                    ("flow", f"{packet.src}-{packet.dst}"),
+                    args={"size_bytes": packet.size_bytes, "msp": packet.msp_index},
+                )
         self._schedule_at(
             exit_time + self._link_delay_s, self._arrive, packet
         )
@@ -218,6 +228,13 @@ class Fabric:
         reliable transport (when installed) schedules a retransmission
         over the pruned metapath."""
         self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "packet.drop",
+                ("flow", f"{packet.src}-{packet.dst}"),
+                args={"reason": reason, "kind": packet.kind},
+            )
         if self.recorder is not None and packet.kind == DATA:
             on_dropped = getattr(self.recorder, "on_data_dropped", None)
             if on_dropped is not None:
@@ -385,16 +402,41 @@ class Fabric:
             latency = now - packet.created_at
             if self.recorder is not None:
                 self.recorder.on_data_delivered(packet, latency, now)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "packet.deliver",
+                    ("flow", f"{packet.src}-{packet.dst}"),
+                    args={"latency_s": latency, "size_bytes": packet.size_bytes},
+                )
             self.nodes[packet.dst].receive(packet, now)
             if self._acks_enabled():
                 self._send_ack(packet, now)
         elif packet.kind == ACK:
             self.acks_delivered += 1
+            if self.tracer is not None and packet.contending:
+                self.tracer.emit(
+                    now,
+                    "notify.recv",
+                    ("flow", f"{packet.dst}-{packet.src}"),
+                    args={"mode": "ack", "flows": len(packet.contending)},
+                )
             self.policy.on_ack(packet, now)
             if self.transport is not None:
                 self.transport.on_ack(packet, now)
         elif packet.kind == PREDICTIVE_ACK:
             self.predictive_acks_delivered += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "notify.recv",
+                    ("nic", packet.dst),
+                    args={
+                        "mode": "predictive",
+                        "flows": len(packet.contending),
+                        "router": packet.reporting_router,
+                    },
+                )
             self.policy.on_predictive_ack(packet, now)
 
     def _acks_enabled(self) -> bool:
@@ -413,6 +455,18 @@ class Fabric:
             now=now,
             carry_contending=True,
         )
+        if self.tracer is not None and ack.contending:
+            # Destination-based notification: contending flows ride home.
+            self.tracer.emit(
+                now,
+                "notify.send",
+                ("flow", f"{data.src}-{data.dst}"),
+                args={
+                    "mode": "ack",
+                    "flows": len(ack.contending),
+                    "router": ack.reporting_router,
+                },
+            )
         self.inject(ack)
 
     # ------------------------------------------------------------------
@@ -446,6 +500,18 @@ class Fabric:
                 size_bytes=self.config.ack_size_bytes,
                 now=now,
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "notify.send",
+                    ("router", router.router_id),
+                    args={
+                        "mode": "predictive",
+                        "target": flow.src,
+                        "flows": len(flows),
+                        "queue_latency_s": wait_s,
+                    },
+                )
             # Routers inject in place: the packet starts at this router.
             # Notification faults apply here too (a predictive ACK is a
             # notification packet, even though it skips host injection).

@@ -50,6 +50,8 @@ class ProcessingNode:
         #: entry is computed by the exact expression in :meth:`serialize`,
         #: so the cache cannot shift float rounding.
         self._inj_tx_cache: dict[int, float] = {}
+        #: optional :class:`repro.obs.tracer.Tracer` (message completions).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Reliable-transport duplicate suppression
@@ -112,6 +114,19 @@ class ProcessingNode:
         state.expected = packet.fragments
         if state.received >= state.expected:
             del self._assembly[key]
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "msg.complete",
+                    ("nic", self.host_id),
+                    args={
+                        "src": packet.src,
+                        "mpi_seq": packet.mpi_seq,
+                        "bytes": state.bytes,
+                        "fragments": state.expected,
+                        "latency_s": now - state.first_created_at,
+                    },
+                )
             if self.message_handler is not None:
                 self.message_handler(
                     packet.src, packet.mpi_type, packet.mpi_seq, state.bytes, now

@@ -110,6 +110,9 @@ class Router:
         self.bytes_forwarded = 0
         #: optional metrics hook: fn(router_id, now, wait_s)
         self.wait_observer: Optional[Callable[[int, float, float], None]] = None
+        #: optional :class:`repro.obs.tracer.Tracer`; only the (rare) CFD
+        #: path emits, so the per-hop inner loop stays untouched.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def port_to(self, kind: str, target: int) -> OutputPort:
@@ -266,6 +269,28 @@ class Router:
             # Destination-based: ride the predictive header to the sink.
             packet.contending = flows
             packet.reporting_router = self.router_id
+        tracer = self.tracer
+        if tracer is not None:
+            track = ("router", self.router_id)
+            tracer.emit(
+                now,
+                "router.contention",
+                track,
+                args={
+                    "wait_s": wait,
+                    "flows": len(flows),
+                    "occupancy_bytes": port.occupancy_bytes,
+                    "port": f"{port.target_kind}:{port.target}",
+                    "handled": handled,
+                },
+            )
+            tracer.emit(
+                now,
+                "router.queue_bytes",
+                track,
+                ph="C",
+                args={"value": port.occupancy_bytes},
+            )
 
     # ------------------------------------------------------------------
     # On/Off flow control (§2.1.3)

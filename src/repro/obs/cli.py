@@ -1,0 +1,367 @@
+"""``python -m repro.obs`` — trace tooling.
+
+Subcommands:
+
+* ``summarize PATH`` — event counts, zone transitions, notification and
+  prediction statistics (solution-DB hit rate), drop reasons, latency.
+* ``export PATH --format perfetto|jsonl --out OUT`` — convert a JSONL
+  trace for ``ui.perfetto.dev``, or re-emit canonical JSONL.
+* ``diff A B`` — byte-level comparison of two traces modulo the header
+  line; exit 1 on any difference.
+* ``record --policy P --out PATH [--perfetto PATH]`` — run the pinned
+  hot-spot workload (see :mod:`repro.perf`) with tracing on.
+* ``selftest [--quick]`` — the observation contract: tracing must not
+  change replay digests, same-seed traces must be byte-identical, the
+  Perfetto export must be loadable, and (full mode) the pinned pr-drb
+  run must show zone transitions, notifications and prediction hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.export import to_perfetto, write_perfetto
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import (
+    JsonlSink,
+    MemorySink,
+    TraceRecord,
+    Tracer,
+    category,
+    read_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# summarize
+# ----------------------------------------------------------------------
+def summarize(records: Sequence[TraceRecord], header: Optional[dict] = None) -> dict:
+    """Aggregate a record stream into the summary dict the CLI prints."""
+    by_name: dict[str, int] = {}
+    by_category: dict[str, int] = {}
+    zone_transitions: dict[str, int] = {}
+    drops: dict[str, int] = {}
+    latencies: list[float] = []
+    for record in records:
+        by_name[record.name] = by_name.get(record.name, 0) + 1
+        cat = category(record.name)
+        by_category[cat] = by_category.get(cat, 0) + 1
+        args = record.args or {}
+        if record.name == "zone.transition":
+            edge = f"{args.get('from', '?')}->{args.get('to', '?')}"
+            zone_transitions[edge] = zone_transitions.get(edge, 0) + 1
+        elif record.name == "packet.drop":
+            reason = args.get("reason", "?")
+            drops[reason] = drops.get(reason, 0) + 1
+        elif record.name == "packet.deliver":
+            latency = args.get("latency_s")
+            if latency is not None:
+                latencies.append(latency)
+
+    hits = by_name.get("prediction.hit", 0)
+    misses = by_name.get("prediction.miss", 0)
+    consulted = hits + misses
+    summary: dict = {
+        "label": (header or {}).get("label", ""),
+        "records": len(records),
+        "events_by_name": dict(sorted(by_name.items())),
+        "events_by_category": dict(sorted(by_category.items())),
+        "zone_transitions": dict(sorted(zone_transitions.items())),
+        "notifications": {
+            "sent": by_name.get("notify.send", 0),
+            "received": by_name.get("notify.recv", 0),
+        },
+        "prediction": {
+            "hits": hits,
+            "misses": misses,
+            "saves": by_name.get("prediction.save", 0),
+            "invalidations": by_name.get("prediction.invalidate", 0),
+            "hit_rate": hits / consulted if consulted else 0.0,
+        },
+        "drops_by_reason": dict(sorted(drops.items())),
+    }
+    if latencies:
+        summary["delivery"] = {
+            "packets": len(latencies),
+            "mean_latency_s": sum(latencies) / len(latencies),
+            "max_latency_s": max(latencies),
+        }
+    return summary
+
+
+def _print_summary(summary: dict) -> None:
+    print(f"label:   {summary['label'] or '(none)'}")
+    print(f"records: {summary['records']}")
+    print("events:")
+    for name, count in summary["events_by_name"].items():
+        print(f"  {name:<24} {count:>8}")
+    if summary["zone_transitions"]:
+        print("zone transitions:")
+        for edge, count in summary["zone_transitions"].items():
+            print(f"  {edge:<24} {count:>8}")
+    notifications = summary["notifications"]
+    print(
+        f"notifications: {notifications['sent']} sent, "
+        f"{notifications['received']} received"
+    )
+    prediction = summary["prediction"]
+    print(
+        f"solution DB: {prediction['hits']} hits, {prediction['misses']} "
+        f"misses, {prediction['saves']} saves "
+        f"(hit rate {prediction['hit_rate']:.1%})"
+    )
+    if summary["drops_by_reason"]:
+        print("drops:")
+        for reason, count in summary["drops_by_reason"].items():
+            print(f"  {reason:<24} {count:>8}")
+    if "delivery" in summary:
+        delivery = summary["delivery"]
+        print(
+            f"delivered: {delivery['packets']} packets, mean latency "
+            f"{delivery['mean_latency_s']:.3e}s, max "
+            f"{delivery['max_latency_s']:.3e}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def diff_traces(path_a, path_b) -> list[str]:
+    """Differences between two JSONL traces, header line exempted.
+
+    Returns human-readable difference descriptions (empty = identical).
+    Compares the raw record lines byte-for-byte — the determinism
+    contract is *byte* identity, not structural similarity.
+    """
+
+    def record_lines(path) -> list[str]:
+        lines = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for i, line in enumerate(fh):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if i == 0 and '"type":"header"' in line.replace(" ", ""):
+                    continue
+                lines.append(line)
+        return lines
+
+    a, b = record_lines(path_a), record_lines(path_b)
+    problems: list[str] = []
+    if len(a) != len(b):
+        problems.append(f"record count differs: {len(a)} vs {len(b)}")
+    for i, (line_a, line_b) in enumerate(zip(a, b)):
+        if line_a != line_b:
+            problems.append(f"first differing record at line {i + 2}:")
+            problems.append(f"  a: {line_a}")
+            problems.append(f"  b: {line_b}")
+            break
+    return problems
+
+
+# ----------------------------------------------------------------------
+# record
+# ----------------------------------------------------------------------
+def record_pinned(
+    policy: str,
+    out: Path,
+    max_events: int = 200_000,
+    perfetto: Optional[Path] = None,
+    label: str = "",
+) -> dict:
+    """Trace the pinned hot-spot workload to ``out`` (JSONL).
+
+    Returns the trace summary.  ``perfetto`` additionally writes the
+    Chrome/Perfetto export of the same run.
+    """
+    from repro.perf import run_pinned_workload
+
+    memory = MemorySink()
+    tracer = Tracer(sinks=[JsonlSink(out, label=label), memory])
+    metrics = MetricsRegistry()
+    run_pinned_workload(policy, max_events, tracer=tracer, metrics=metrics)
+    tracer.close()
+    if perfetto is not None:
+        write_perfetto(perfetto, memory.records, label=label)
+    return summarize(memory.records)
+
+
+# ----------------------------------------------------------------------
+# selftest
+# ----------------------------------------------------------------------
+def selftest(quick: bool = False, verbose: bool = True) -> int:
+    """Assert the observation contract; returns a process exit code."""
+    import tempfile
+
+    from repro.analysis.replay import run_scenario
+
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        if verbose:
+            print(f"[{'ok ' if ok else 'FAIL'}] {name}" + (f" ({detail})" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    # 1. Tracing must not alter behavior: identical digests with and
+    #    without full instrumentation (tracer + metrics cadence).
+    bare = run_scenario(seed=0, policy="pr-drb", repetitions=2)
+    tracer = Tracer(sinks=[MemorySink()])
+    metrics = MetricsRegistry()
+    traced = run_scenario(
+        seed=0, policy="pr-drb", repetitions=2,
+        tracer=tracer, metrics=metrics, metrics_cadence_s=5e-5,
+    )
+    check(
+        "tracing preserves event digest",
+        bare.events == traced.events,
+        f"{bare.events[:12]} vs {traced.events[:12]}",
+    )
+    check("tracing preserves metrics digest", bare.metrics == traced.metrics)
+    check("tracer captured events", tracer.emitted > 0, f"{tracer.emitted} records")
+    check("cadence produced snapshots", len(metrics.snapshots) > 0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        # 2. Same seed => byte-identical JSONL (modulo the header label).
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for i, path in enumerate(paths):
+            sink = JsonlSink(path, label=f"run-{i}")  # labels differ on purpose
+            t = Tracer(sinks=[sink])
+            run_scenario(seed=0, policy="pr-drb", repetitions=2, tracer=t)
+            t.close()
+        problems = diff_traces(*paths)
+        check("same-seed traces byte-identical", not problems, "; ".join(problems[:1]))
+
+        # 3. Perfetto export loads back as valid trace-event JSON.
+        memory = MemorySink()
+        t = Tracer(sinks=[memory])
+        run_scenario(seed=0, policy="pr-drb", repetitions=2, tracer=t)
+        perfetto_path = tmp_path / "trace.json"
+        write_perfetto(perfetto_path, memory.records, label="selftest")
+        with open(perfetto_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        events = doc.get("traceEvents", [])
+        check(
+            "perfetto export valid",
+            bool(events)
+            and all("ph" in e and "pid" in e and "tid" in e for e in events),
+            f"{len(events)} trace events",
+        )
+
+    # 4. Full mode: the pinned mesh:8 pr-drb hot-spot run must surface
+    #    the paper's decision events, including solution-DB reuse.
+    if not quick:
+        memory = MemorySink()
+        t = Tracer(sinks=[memory])
+        from repro.perf import run_pinned_workload
+
+        run_pinned_workload("pr-drb", 200_000, tracer=t)
+        summary = summarize(memory.records)
+        names = summary["events_by_name"]
+        check("pinned run has zone transitions", names.get("zone.transition", 0) > 0)
+        check("pinned run has notifications", names.get("notify.send", 0) > 0)
+        check("pinned run has prediction hits", names.get("prediction.hit", 0) > 0)
+        check(
+            "pinned run solution-DB hit rate > 0",
+            summary["prediction"]["hit_rate"] > 0,
+            f"{summary['prediction']['hit_rate']:.1%}",
+        )
+
+    if failures:
+        print(f"selftest: {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    if verbose:
+        print("selftest: all checks passed")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace summarize/export/diff/record/selftest",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="aggregate a JSONL trace")
+    p_sum.add_argument("trace", type=Path)
+    p_sum.add_argument("--json", action="store_true", help="print JSON")
+
+    p_exp = sub.add_parser("export", help="convert a JSONL trace")
+    p_exp.add_argument("trace", type=Path)
+    p_exp.add_argument(
+        "--format", choices=("perfetto", "jsonl"), default="perfetto"
+    )
+    p_exp.add_argument("--out", type=Path, required=True)
+
+    p_diff = sub.add_parser("diff", help="compare two traces modulo header")
+    p_diff.add_argument("trace_a", type=Path)
+    p_diff.add_argument("trace_b", type=Path)
+
+    p_rec = sub.add_parser("record", help="trace the pinned perf workload")
+    p_rec.add_argument("--policy", default="pr-drb")
+    p_rec.add_argument("--events", type=int, default=200_000)
+    p_rec.add_argument("--out", type=Path, default=Path("trace.jsonl"))
+    p_rec.add_argument("--perfetto", type=Path, default=None)
+    p_rec.add_argument("--label", default="")
+
+    p_self = sub.add_parser("selftest", help="assert the observation contract")
+    p_self.add_argument("--quick", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        header, records = read_trace(args.trace)
+        summary = summarize(records, header)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            _print_summary(summary)
+        return 0
+
+    if args.command == "export":
+        header, records = read_trace(args.trace)
+        if args.format == "perfetto":
+            write_perfetto(args.out, records, label=header.get("label", ""))
+        else:
+            sink = JsonlSink(args.out, label=header.get("label", ""))
+            for record in records:
+                sink.write(record)
+            sink.close()
+        print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "diff":
+        problems = diff_traces(args.trace_a, args.trace_b)
+        if problems:
+            for problem in problems:
+                print(problem)
+            return 1
+        print("traces identical (header exempt)")
+        return 0
+
+    if args.command == "record":
+        summary = record_pinned(
+            args.policy, args.out,
+            max_events=args.events, perfetto=args.perfetto, label=args.label,
+        )
+        _print_summary(summary)
+        print(f"wrote {args.out}")
+        if args.perfetto:
+            print(f"wrote {args.perfetto}")
+        return 0
+
+    return selftest(quick=args.quick)
+
+
+def perfetto_from_records(records: Sequence[TraceRecord], label: str = "") -> dict:
+    """Convenience re-export used by scripts; see :func:`to_perfetto`."""
+    return to_perfetto(records, label=label)

@@ -1,0 +1,94 @@
+"""Chrome/Perfetto ``trace_event`` export.
+
+Converts :class:`~repro.obs.tracer.TraceRecord` streams into the JSON
+object format ``ui.perfetto.dev`` (and ``chrome://tracing``) load
+directly: each track *kind* becomes a process, each track ident a thread,
+with ``M`` metadata events naming both — so a run opens with one named
+track per router / NIC / flow.
+
+Timestamps: trace_event ``ts``/``dur`` are microseconds; sim time is
+seconds, so values are scaled by 1e6.  Phases map 1:1 (``i`` instant with
+thread scope, ``X`` complete, ``C`` counter); counter events expose their
+numeric args as the counted series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import TraceRecord, category
+
+_US = 1e6  # seconds -> microseconds
+
+
+def to_perfetto(records: Iterable[TraceRecord], label: str = "") -> dict:
+    """Build a ``{"traceEvents": [...]}`` object from a record stream.
+
+    Deterministic: pids/tids are assigned in first-seen order of the
+    (already deterministic) record stream.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple, int] = {}
+    events: list[dict] = []
+    meta: list[dict] = []
+
+    for record in records:
+        kind, ident = record.track[0], record.track[1]
+        pid = pids.get(kind)
+        if pid is None:
+            pid = pids[kind] = len(pids) + 1
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": str(kind)},
+                }
+            )
+        track = (kind, ident)
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"{kind} {ident}"},
+                }
+            )
+        event: dict = {
+            "name": record.name,
+            "cat": category(record.name),
+            "ph": record.ph,
+            "ts": record.ts * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if record.ph == "X":
+            event["dur"] = record.dur * _US
+        elif record.ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if record.args is not None:
+            if record.ph == "C":
+                # Counter tracks chart every numeric arg as a series.
+                event["args"] = {
+                    k: v
+                    for k, v in record.args.items()
+                    if isinstance(v, (int, float))
+                }
+            else:
+                event["args"] = record.args
+        events.append(event)
+
+    return {"traceEvents": meta + events, "displayTimeUnit": "ns", "label": label}
+
+
+def write_perfetto(path, records: Iterable[TraceRecord], label: str = "") -> None:
+    """Serialize :func:`to_perfetto` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_perfetto(records, label=label), fh, sort_keys=True)
+        fh.write("\n")

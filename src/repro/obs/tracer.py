@@ -1,0 +1,214 @@
+"""Typed event tracing with a bounded ring buffer and pluggable sinks.
+
+Event taxonomy (names are ``category.action``; the category is everything
+before the first dot):
+
+=====================  ==================================================
+``packet.*``           inject / deliver / drop — data-packet lifecycle
+``msg.*``              complete — full message reassembled at the NIC
+``router.*``           contention (CFD episode), queue_bytes (counter)
+``zone.*``             transition — L/M/H metapath zone changes
+``congestion.*``       episode — a HIGH-zone span (``ph="X"`` with dur)
+``msp.*``              open / close / select / prune — metapath changes
+``notify.*``           send / recv — ACK & predictive-ACK notification
+``prediction.*``       hit / miss / save / invalidate — solution DB
+``policy.*``           watchdog / nack_reaction — FR-DRB reactions
+``fault.*``            fail / restore / degrade / undegrade — injector
+``retx.*``             send / abandon — reliable-transport recovery
+=====================  ==================================================
+
+Tracks identify the timeline an event belongs to, as a ``(kind, ident)``
+pair: ``("flow", "src-dst")``, ``("router", id)``, ``("nic", id)``,
+``("fabric", 0)``.  The Perfetto exporter turns each kind into a process
+and each ident into a thread, so a run opens in ``ui.perfetto.dev`` with
+one track per router / NIC / flow.
+
+Records are plain data.  Emission never mutates simulation state, never
+consults wall clocks or ambient RNG, and the JSONL encoding is canonical
+(sorted keys, compact separators) so same-seed runs produce byte-identical
+trace files — the property ``python -m repro.obs diff`` and the
+determinism tests check.  The one intentionally variable field lives in
+the *header* line (its ``label``), which diff/compare logic exempts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, NamedTuple, Optional
+
+#: bump when the record encoding changes shape.
+TRACE_VERSION = 1
+
+#: default ring-buffer capacity (records kept in memory per tracer).
+DEFAULT_CAPACITY = 65536
+
+
+class TraceRecord(NamedTuple):
+    """One trace event.  ``ph`` follows the Chrome trace-event phases the
+    exporter understands: ``"i"`` instant, ``"X"`` complete-with-duration,
+    ``"C"`` counter sample."""
+
+    ts: float  # sim time, seconds
+    name: str  # "category.action"
+    track: tuple  # (kind, ident)
+    ph: str = "i"
+    dur: float = 0.0  # seconds; only meaningful for ph == "X"
+    args: Optional[dict] = None
+
+    @property
+    def category(self) -> str:
+        return category(self.name)
+
+    def to_json_obj(self) -> dict:
+        obj: dict[str, Any] = {
+            "name": self.name,
+            "ph": self.ph,
+            "track": list(self.track),
+            "ts": self.ts,
+        }
+        if self.ph == "X":
+            obj["dur"] = self.dur
+        if self.args is not None:
+            obj["args"] = self.args
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "TraceRecord":
+        return cls(
+            ts=obj["ts"],
+            name=obj["name"],
+            track=tuple(obj["track"]),
+            ph=obj.get("ph", "i"),
+            dur=obj.get("dur", 0.0),
+            args=obj.get("args"),
+        )
+
+
+def category(name: str) -> str:
+    """The taxonomy category of an event name (text before the first dot)."""
+    return name.partition(".")[0]
+
+
+def _encode(obj: dict) -> str:
+    """Canonical one-line JSON (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Flight recorder: bounded ring buffer plus streaming sinks.
+
+    ``emit`` appends to the ring (evicting the oldest record once
+    ``capacity`` is reached, counted in ``dropped``) and forwards the
+    record to every sink.  Sinks therefore see the *complete* stream even
+    when the in-memory ring has wrapped.
+    """
+
+    __slots__ = ("records", "emitted", "dropped", "_sinks")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sinks=()) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+        self._sinks = list(sinks)
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        ts: float,
+        name: str,
+        track: tuple,
+        args: Optional[dict] = None,
+        ph: str = "i",
+        dur: float = 0.0,
+    ) -> None:
+        """Record one event.  Hot-layer call sites guard with a single
+        ``if tracer is not None`` so the disabled cost is one branch."""
+        record = TraceRecord(ts, name, track, ph, dur, args)
+        records = self.records
+        if len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(record)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink.write(record)
+
+    # ------------------------------------------------------------------
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    def close(self) -> None:
+        """Close every sink that supports closing (idempotent)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # ------------------------------------------------------------------
+    def by_name(self, name: str) -> list[TraceRecord]:
+        """Ring-buffer records with exactly this event name."""
+        return [r for r in self.records if r.name == name]
+
+    def counts(self) -> dict[str, int]:
+        """Ring-buffer record counts keyed by event name (sorted)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.name] = counts.get(record.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class MemorySink:
+    """Keeps every record in a plain list (unbounded; tests/analysis)."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def write(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+
+class JsonlSink:
+    """Streams records to a JSONL file, one canonical JSON object per line.
+
+    The first line is a header object (``type/version/label``); every
+    following line is a record.  ``label`` is the one field allowed to
+    vary between otherwise identical runs — comparisons exempt the header.
+    """
+
+    def __init__(self, path, label: str = "") -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self._fh.write(
+            _encode({"label": label, "type": "header", "version": TRACE_VERSION})
+            + "\n"
+        )
+
+    def write(self, record: TraceRecord) -> None:
+        self._fh.write(_encode(record.to_json_obj()) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_trace(path) -> tuple[dict, list[TraceRecord]]:
+    """Load a JSONL trace: ``(header, records)``.
+
+    Accepts headerless files (header defaults to an empty dict) so the
+    reader also works on hand-built fixtures.
+    """
+    header: dict = {}
+    records: list[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if i == 0 and obj.get("type") == "header":
+                header = obj
+                continue
+            records.append(TraceRecord.from_json_obj(obj))
+    return header, records

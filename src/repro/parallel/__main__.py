@@ -100,6 +100,7 @@ def _sweep_config(args, cache_dir: Optional[str]) -> SweepConfig:
         max_retries=args.retries,
         cache_dir=cache_dir,
         profile=getattr(args, "profile", False),
+        trace=getattr(args, "trace", False),
     )
 
 
@@ -256,6 +257,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--no-cache", action="store_true")
     run_parser.add_argument("--profile", action="store_true",
                             help="cProfile each executed cell into the cache dir")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="repro.obs-trace each executed cell into the "
+                            "cache dir (<key>.trace.jsonl)")
     run_parser.add_argument("--json", action="store_true")
 
     verify_parser = sub.add_parser(

@@ -3,9 +3,10 @@
 Layout (all JSON, human-inspectable)::
 
     <root>/
-      <key[:2]>/<key>.json      one cached cell result
-      <key[:2]>/<key>.prof      optional cProfile dump (``--profile``)
-      manifest.json             last sweep's summary + failure ledger
+      <key[:2]>/<key>.json         one cached cell result
+      <key[:2]>/<key>.prof         optional cProfile dump (``--profile``)
+      <key[:2]>/<key>.trace.jsonl  optional repro.obs trace (``--trace``)
+      manifest.json                last sweep's summary + failure ledger
 
 An entry stores the task spec it answers for, the code-version token it
 was computed under, the result payload, and a SHA-256 checksum over the
@@ -96,6 +97,9 @@ class ResultCache:
 
     def profile_path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.prof"
+
+    def trace_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.trace.jsonl"
 
     @property
     def manifest_path(self) -> Path:
@@ -193,7 +197,7 @@ class ResultCache:
         if not self.root.is_dir():
             return removed
         for path in sorted(self.root.glob("??/*")):
-            if path.suffix in (_ENTRY_SUFFIX, ".prof", ".tmp", ".txt"):
+            if path.suffix in (_ENTRY_SUFFIX, ".prof", ".tmp", ".txt", ".jsonl"):
                 try:
                     path.unlink()
                 except OSError:

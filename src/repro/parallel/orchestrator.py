@@ -62,6 +62,9 @@ class SweepConfig:
     cache_dir: Optional[str] = None
     #: cProfile each executed cell into the cache directory.
     profile: bool = False
+    #: repro.obs-trace each executed cell into the cache directory
+    #: (``<key>.trace.jsonl`` next to the entry); needs ``cache_dir``.
+    trace: bool = False
     #: pin the code-version token (None = content hash of the package).
     code_version: Optional[str] = None
 
@@ -242,6 +245,13 @@ def run_sweep(
         path.parent.mkdir(parents=True, exist_ok=True)
         return str(path)
 
+    def trace_path(cell: _Cell) -> Optional[str]:
+        if not config.trace or cache is None:
+            return None
+        path = cache.trace_path_for(cell.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return str(path)
+
     def record_success(cell: _Cell, result: dict, wall_s: float) -> None:
         if cache is not None:
             cache.put(cell.key, cell.task, version, result)
@@ -279,9 +289,15 @@ def run_sweep(
         return retriable
 
     if config.workers <= 1:
-        _run_inline(pending, config, profile_path, record_success, record_failure)
+        _run_inline(
+            pending, config, profile_path, trace_path,
+            record_success, record_failure,
+        )
     else:
-        _run_pooled(pending, config, profile_path, record_success, record_failure)
+        _run_pooled(
+            pending, config, profile_path, trace_path,
+            record_success, record_failure,
+        )
 
     wall_s = time.monotonic() - start  # repro: allow(no-wall-clock)
     report = SweepReport(
@@ -305,7 +321,9 @@ def run_sweep(
     return report
 
 
-def _run_inline(pending, config, profile_path, record_success, record_failure) -> None:
+def _run_inline(
+    pending, config, profile_path, trace_path, record_success, record_failure
+) -> None:
     """Serial backend: same semantics minus crash isolation/timeouts."""
     queue = list(pending)
     while queue:
@@ -313,7 +331,11 @@ def _run_inline(pending, config, profile_path, record_success, record_failure) -
         cell.attempts += 1
         t0 = time.monotonic()  # repro: allow(no-wall-clock)
         try:
-            result = execute_task(cell.task, profile_path=profile_path(cell))
+            result = execute_task(
+                cell.task,
+                profile_path=profile_path(cell),
+                trace_path=trace_path(cell),
+            )
         except Exception as exc:  # noqa: BLE001 - ledgered, not swallowed
             if record_failure(cell, "error", f"{type(exc).__name__}: {exc}"):
                 queue.append(cell)
@@ -322,7 +344,9 @@ def _run_inline(pending, config, profile_path, record_success, record_failure) -
         record_success(cell, result, wall)
 
 
-def _run_pooled(pending, config, profile_path, record_success, record_failure) -> None:
+def _run_pooled(
+    pending, config, profile_path, trace_path, record_success, record_failure
+) -> None:
     """Process-pool backend with timeout / crash supervision."""
     import multiprocessing
 
@@ -344,7 +368,8 @@ def _run_pooled(pending, config, profile_path, record_success, record_failure) -
                     cell.attempts += 1
                     cell.started = now
                     future = pool.submit(
-                        pool_worker, cell.task.to_dict(), profile_path(cell)
+                        pool_worker, cell.task.to_dict(),
+                        profile_path(cell), trace_path(cell),
                     )
                     in_flight[future] = cell
                 else:

@@ -42,7 +42,7 @@ __all__ = ["TASK_KINDS", "execute_task", "pool_worker"]
 # ----------------------------------------------------------------------
 # Kind implementations
 # ----------------------------------------------------------------------
-def _run_replay(params: dict) -> dict:
+def _run_replay(params: dict, tracer=None) -> dict:
     from repro.analysis.replay import run_scenario
 
     digest = run_scenario(
@@ -50,11 +50,12 @@ def _run_replay(params: dict) -> dict:
         policy=str(params.get("policy", "pr-drb")),
         mesh_side=int(params.get("mesh_side", 4)),
         repetitions=int(params.get("repetitions", 3)),
+        tracer=tracer,
     )
     return digest.to_dict()
 
 
-def _run_fault(params: dict) -> dict:
+def _run_fault(params: dict, tracer=None) -> dict:
     from repro.faults.campaign import FaultCampaignSpec, run_fault_scenario
     from repro.network.config import ReliabilityConfig
 
@@ -91,7 +92,7 @@ def _build_config(params: Optional[dict]):
     return None if params is None else NetworkConfig(**params)
 
 
-def _run_hotspot(params: dict) -> dict:
+def _run_hotspot(params: dict, tracer=None) -> dict:
     from repro.experiments.runner import run_hotspot_workload
 
     runs = run_hotspot_workload(
@@ -109,11 +110,12 @@ def _run_hotspot(params: dict) -> dict:
         window_s=float(params.get("window_s", 50e-6)),
         track_routers=bool(params.get("track_routers", False)),
         policy_kwargs=params.get("policy_kwargs"),
+        tracer=tracer,
     )
     return runs[params["policy"]].to_dict()
 
 
-def _run_pattern(params: dict) -> dict:
+def _run_pattern(params: dict, tracer=None) -> dict:
     from repro.experiments.runner import run_pattern_workload
 
     hosts = params.get("hosts")
@@ -133,11 +135,12 @@ def _run_pattern(params: dict) -> dict:
         track_routers=bool(params.get("track_routers", False)),
         idle_rate_mbps=float(params.get("idle_rate_mbps", 0.0)),
         policy_kwargs=params.get("policy_kwargs"),
+        tracer=tracer,
     )
     return runs[params["policy"]].to_dict()
 
 
-def _run_selftest(params: dict) -> dict:
+def _run_selftest(params: dict, tracer=None) -> dict:
     """Supervision test double — never used by real sweeps."""
     mode = params.get("mode", "ok")
     if mode == "ok":
@@ -179,23 +182,47 @@ TASK_KINDS: dict[str, Callable[[dict], dict]] = {
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
-def execute_task(task: SimTask, profile_path: Optional[str] = None) -> dict:
-    """Run one task; optionally cProfile it, dumping stats next to the
-    cache entry (``<key>.prof`` + a ``<key>.prof.txt`` rendering)."""
+def execute_task(
+    task: SimTask,
+    profile_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> dict:
+    """Run one task; optionally cProfile it (``<key>.prof`` + a
+    ``<key>.prof.txt`` rendering) and/or trace it through
+    :mod:`repro.obs` (``<key>.trace.jsonl``), dumping both next to the
+    cache entry.  Tracing never perturbs the result — the cell stays
+    bit-identical to an untraced run."""
     runner = TASK_KINDS.get(task.kind)
     if runner is None:
         raise ValueError(
             f"unknown task kind {task.kind!r}; registered: {sorted(TASK_KINDS)}"
         )
-    if profile_path is None:
-        return json_safe(runner(task.params))
-    from repro.parallel.profiling import profile_call, write_profile
+    tracer = None
+    if trace_path is not None:
+        from repro.obs import JsonlSink, Tracer
 
-    result, profile = profile_call(runner, task.params)
-    write_profile(profile, profile_path)
-    return json_safe(result)
+        tracer = Tracer(sinks=[JsonlSink(trace_path, label=task.display())])
+    try:
+        if profile_path is None:
+            return json_safe(runner(task.params, tracer=tracer))
+        from repro.parallel.profiling import profile_call, write_profile
+
+        result, profile = profile_call(runner, task.params, tracer=tracer)
+        write_profile(profile, profile_path)
+        return json_safe(result)
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
-def pool_worker(task_dict: dict, profile_path: Optional[str] = None) -> dict:
+def pool_worker(
+    task_dict: dict,
+    profile_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> dict:
     """Top-level (picklable) adapter used by the process pool."""
-    return execute_task(SimTask.from_dict(task_dict), profile_path=profile_path)
+    return execute_task(
+        SimTask.from_dict(task_dict),
+        profile_path=profile_path,
+        trace_path=trace_path,
+    )

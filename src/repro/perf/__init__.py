@@ -98,7 +98,10 @@ def check_digests(
 # ----------------------------------------------------------------------
 # Pinned hot-spot workload (shared with scripts/profile_sim.py)
 # ----------------------------------------------------------------------
-def run_pinned_workload(policy: str, max_events: int) -> int:
+def run_pinned_workload(
+    policy: str, max_events: int, tracer=None, metrics=None,
+    metrics_cadence_s: Optional[float] = None,
+) -> int:
     """Run the pinned hot-spot workload; return events executed.
 
     An 8x8 mesh with four colliding hot-spot flows under a repeated
@@ -106,6 +109,10 @@ def run_pinned_workload(policy: str, max_events: int) -> int:
     drove the engine/network optimizations (docs/performance.md).  The
     parameters are mirrored in ``baseline.json``'s ``workload`` block and
     must not drift, or recorded rates stop being comparable.
+
+    ``tracer``/``metrics`` (a :class:`repro.obs.tracer.Tracer` and
+    :class:`repro.obs.metrics.MetricsRegistry`) instrument the run; both
+    observe only, so the executed event stream is identical either way.
     """
     from repro.network.config import NetworkConfig
     from repro.network.fabric import Fabric
@@ -117,6 +124,10 @@ def run_pinned_workload(policy: str, max_events: int) -> int:
 
     sim = Simulator()
     fabric = Fabric(Mesh2D(8), NetworkConfig(), make_policy(policy), sim)
+    if tracer is not None or metrics is not None:
+        from repro.obs import instrument
+
+        instrument(fabric, tracer, metrics, cadence_s=metrics_cadence_s)
     schedule = BurstSchedule(on_s=3e-4, off_s=3e-4, repetitions=50)
     flows = [
         HotSpotFlow(0, 37),

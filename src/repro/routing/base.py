@@ -30,6 +30,9 @@ class RoutingPolicy:
 
     def __init__(self) -> None:
         self.fabric: Optional["Fabric"] = None
+        #: optional :class:`repro.obs.tracer.Tracer`; policy decisions
+        #: (zone transitions, MSP changes, predictions) emit through it.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def attach(self, fabric: "Fabric") -> None:

@@ -165,6 +165,13 @@ class DRBPolicy(RoutingPolicy):
         idx = select_msp(fs.metapath, self._rng)
         if self.fabric.failed_links:
             idx = self._route_around_faults(fs, idx)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "msp.select",
+                ("flow", f"{src}-{dst}"),
+                args={"idx": idx, "active": fs.metapath.active_count},
+            )
         return fs.metapath.path_for(idx), idx
 
     def _route_around_faults(self, fs: FlowState, idx: int) -> int:
@@ -223,7 +230,15 @@ class DRBPolicy(RoutingPolicy):
             if not self.fabric.path_alive(fs.metapath.path_for(i))
         ]
         if dead:
-            self.paths_pruned += fs.metapath.prune(dead)
+            pruned = fs.metapath.prune(dead)
+            self.paths_pruned += pruned
+            if self.tracer is not None and pruned:
+                self.tracer.emit(
+                    now,
+                    "msp.prune",
+                    ("flow", f"{packet.src}-{packet.dst}"),
+                    args={"pruned": pruned, "reason": reason},
+                )
 
     def on_timeout(self, src: int, dst: int, now: float) -> None:
         """The transport declared an outstanding packet lost: its ACK will
@@ -261,7 +276,29 @@ class DRBPolicy(RoutingPolicy):
         new_zone = fs.thresholds.zone(latency)
         old_zone = fs.zone
         fs.zone = new_zone
+        tracer = self.tracer
+        if tracer is not None and new_zone is not old_zone:
+            tracer.emit(
+                now,
+                "zone.transition",
+                ("flow", f"{fs.src}-{fs.dst}"),
+                args={
+                    "from": old_zone.value,
+                    "to": new_zone.value,
+                    "latency_s": latency,
+                },
+            )
         if old_zone is Zone.HIGH and new_zone is not Zone.HIGH:
+            if tracer is not None and fs.high_entry_time >= 0:
+                # The whole controlled-congestion span, as one X slice.
+                tracer.emit(
+                    fs.high_entry_time,
+                    "congestion.episode",
+                    ("flow", f"{fs.src}-{fs.dst}"),
+                    ph="X",
+                    dur=now - fs.high_entry_time,
+                    args={"active": fs.metapath.active_count},
+                )
             # Congestion controlled: record the solution (no cooldown —
             # saving touches no network state).
             self._on_controlled(fs, now)
@@ -279,7 +316,7 @@ class DRBPolicy(RoutingPolicy):
             elif (
                 not self._demand_is_low(fs)
                 and fs.metapath.evaluated()
-                and self._expand(fs)
+                and self._expand(fs, now)
             ):
                 # Sustained saturation: widen further, but only after the
                 # previous opening's effect was evaluated via ACKs, and
@@ -289,6 +326,13 @@ class DRBPolicy(RoutingPolicy):
         elif new_zone is Zone.LOW:
             if self._demand_is_low(fs) and fs.metapath.shrink():
                 self.shrinks += 1
+                if tracer is not None:
+                    tracer.emit(
+                        now,
+                        "msp.close",
+                        ("flow", f"{fs.src}-{fs.dst}"),
+                        args={"active": fs.metapath.active_count},
+                    )
                 fs.last_reconfig = now
 
     def _demand_is_low(self, fs: FlowState) -> bool:
@@ -298,9 +342,16 @@ class DRBPolicy(RoutingPolicy):
         )
         return fs.offered_bps < limit
 
-    def _expand(self, fs: FlowState) -> bool:
+    def _expand(self, fs: FlowState, now: float) -> bool:
         if fs.metapath.expand():
             self.expansions += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "msp.open",
+                    ("flow", f"{fs.src}-{fs.dst}"),
+                    args={"active": fs.metapath.active_count},
+                )
             return True
         return False
 
@@ -309,7 +360,7 @@ class DRBPolicy(RoutingPolicy):
     # ------------------------------------------------------------------
     def _on_congestion(self, fs: FlowState, now: float) -> bool:
         """Entering H: open one more path.  Returns True when acted."""
-        return self._expand(fs)
+        return self._expand(fs, now)
 
     def _on_controlled(self, fs: FlowState, now: float) -> None:
         """Leaving H downward: DRB itself does nothing here."""

@@ -54,6 +54,25 @@ class FRDRBPolicy(PRDRBPolicy):
             and now - fs.last_reconfig >= self.config.reconfig_cooldown_s
         ):
             self.watchdog_fires += 1
+            if self.tracer is not None:
+                track = ("flow", f"{fs.src}-{fs.dst}")
+                self.tracer.emit(
+                    now,
+                    "policy.watchdog",
+                    track,
+                    args={"outstanding": fs.outstanding, "silent_s": now - reference},
+                )
+                if fs.zone is not Zone.HIGH:
+                    self.tracer.emit(
+                        now,
+                        "zone.transition",
+                        track,
+                        args={
+                            "from": fs.zone.value,
+                            "to": Zone.HIGH.value,
+                            "cause": "watchdog",
+                        },
+                    )
             fs.zone = Zone.HIGH
             if self._on_congestion(fs, now):
                 fs.last_reconfig = now
@@ -71,6 +90,22 @@ class FRDRBPolicy(PRDRBPolicy):
         if fs is None or now - fs.last_reconfig < self.config.reconfig_cooldown_s:
             return
         self.nack_reactions += 1
+        if self.tracer is not None:
+            track = ("flow", f"{fs.src}-{fs.dst}")
+            self.tracer.emit(
+                now, "policy.nack_reaction", track, args={"reason": reason}
+            )
+            if fs.zone is not Zone.HIGH:
+                self.tracer.emit(
+                    now,
+                    "zone.transition",
+                    track,
+                    args={
+                        "from": fs.zone.value,
+                        "to": Zone.HIGH.value,
+                        "cause": "nack",
+                    },
+                )
         if fs.zone is not Zone.HIGH:
             fs.high_entry_time = now
         fs.zone = Zone.HIGH

@@ -59,6 +59,11 @@ class PRDRBPolicy(DRBPolicy):
         self.solutions_saved = 0
         self.trend_triggers = 0
         self.solutions_invalidated = 0
+        #: database consultations that found no reusable solution.
+        #: Observability-only (repro.obs hit-rate reporting) — deliberately
+        #: absent from :meth:`stats`/:meth:`pattern_stats`, whose keys are
+        #: frozen into the replay metric digests.
+        self.solutions_missed = 0
 
     # ------------------------------------------------------------------
     def database(self, src: int, dst: int) -> SolutionDatabase:
@@ -80,7 +85,25 @@ class PRDRBPolicy(DRBPolicy):
             if solution is not None:
                 fs.metapath.apply_solution(solution.path_indices)
                 self.solutions_applied += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "prediction.hit",
+                        ("flow", f"{fs.src}-{fs.dst}"),
+                        args={
+                            "paths": len(solution.path_indices),
+                            "flows": len(signature),
+                        },
+                    )
                 return True
+            self.solutions_missed += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "prediction.miss",
+                    ("flow", f"{fs.src}-{fs.dst}"),
+                    args={"flows": len(signature)},
+                )
         # Unknown pattern: fall back to DRB's gradual opening and learn.
         return super()._on_congestion(fs, now)
 
@@ -100,6 +123,16 @@ class PRDRBPolicy(DRBPolicy):
                 duration,
             )
             self.solutions_saved += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "prediction.save",
+                    ("flow", f"{fs.src}-{fs.dst}"),
+                    args={
+                        "duration_s": duration,
+                        "paths": len(fs.metapath.active_indices),
+                    },
+                )
         fs.learning_signature = None
 
     # ------------------------------------------------------------------
@@ -115,9 +148,17 @@ class PRDRBPolicy(DRBPolicy):
         if db is None or fs is None or not db.solutions:
             return
         metapath = fs.metapath
-        self.solutions_invalidated += db.invalidate(
+        invalidated = db.invalidate(
             lambda i: self.fabric.path_alive(metapath.path_for(i))
         )
+        self.solutions_invalidated += invalidated
+        if self.tracer is not None and invalidated:
+            self.tracer.emit(
+                now,
+                "prediction.invalidate",
+                ("flow", f"{packet.src}-{packet.dst}"),
+                args={"count": invalidated, "reason": reason},
+            )
 
     # ------------------------------------------------------------------
     # Notification-triggered speculation
@@ -142,6 +183,13 @@ class PRDRBPolicy(DRBPolicy):
             return  # the regular FSM already handled it
         if now - fs.last_reconfig < self.config.reconfig_cooldown_s:
             return
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "zone.transition",
+                ("flow", f"{fs.src}-{fs.dst}"),
+                args={"from": fs.zone.value, "to": Zone.HIGH.value, "cause": "ack"},
+            )
         fs.zone = Zone.HIGH
         fs.high_entry_time = now
         fs.pending_high_entry = False
@@ -181,6 +229,17 @@ class PRDRBPolicy(DRBPolicy):
                 continue
             if fs.zone is not Zone.HIGH:
                 fs.high_entry_time = now
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "zone.transition",
+                        ("flow", f"{fs.src}-{fs.dst}"),
+                        args={
+                            "from": fs.zone.value,
+                            "to": Zone.HIGH.value,
+                            "cause": "predictive_ack",
+                        },
+                    )
             fs.zone = Zone.HIGH
             fs.pending_high_entry = False
             if self._on_congestion(fs, now):

@@ -19,8 +19,16 @@ Hot-path design (see docs/performance.md for the measured ledger):
 * executed and cancelled-skipped events are recycled through a freelist, so
   steady-state simulation allocates no event objects at all;
 * :meth:`Simulator.run` hoists every loop-invariant lookup and re-reads only
-  the state a callback can legitimately change (``_stopped``,
-  ``event_hook``).
+  the state a callback can legitimately change (``_stopped``, the observer
+  dispatch).
+
+Observation: any number of observers may watch event dispatch through
+:meth:`Simulator.add_observer` (the seeded-replay digests, the runtime
+invariant checker, and the :mod:`repro.obs` metrics cadence all ride this).
+Observers are called with each event just before its callback runs and must
+never mutate simulation state; with none installed the cost is a single
+``is not None`` branch per event.  The legacy single-callable
+:attr:`Simulator.event_hook` survives as a property over the observer list.
 
 Every optimization here is digest-gated: ``python -m repro.perf`` replays a
 seeded scenario suite and fails on any drift in the event-trace or metrics
@@ -148,12 +156,92 @@ class Simulator:
         self._events_executed: int = 0
         self._running: bool = False
         self._stopped: bool = False
-        #: optional observer called with each event just before its callback
-        #: runs (the clock has already advanced to the event's time).  Used
-        #: by :class:`repro.analysis.invariants.DebugInvariants` and the
-        #: :mod:`repro.analysis.replay` trace digests; ``None`` costs one
-        #: branch per event.
-        self.event_hook: Optional[EventHook] = None
+        # Observers called with each event just before its callback runs
+        # (the clock has already advanced to the event's time).  The tuple
+        # is replaced wholesale on add/remove, so a dispatch in progress
+        # keeps iterating its snapshot; ``_dispatch`` is the hot-path view:
+        # None (no observers), the single observer itself, or
+        # :meth:`_dispatch_all`.
+        self._observers: tuple[EventHook, ...] = ()
+        self._dispatch: Optional[EventHook] = None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def add_observer(self, fn: EventHook) -> EventHook:
+        """Register ``fn`` to be called with each event before it executes.
+
+        Observers run in registration order and must only *observe* —
+        mutating simulation state from an observer voids the determinism
+        digests.  Returns ``fn`` so call sites can keep the handle for
+        :meth:`remove_observer`.
+        """
+        self._observers = self._observers + (fn,)
+        self._rebuild_dispatch()
+        return fn
+
+    def remove_observer(self, fn: EventHook) -> bool:
+        """Remove a registered observer; returns False when not installed.
+
+        Safe to call from inside an observer: the dispatch in progress
+        finishes over its snapshot, and the removal takes effect from the
+        next event on.
+        """
+        observers = list(self._observers)
+        try:
+            observers.remove(fn)
+        except ValueError:
+            return False
+        self._observers = tuple(observers)
+        self._rebuild_dispatch()
+        return True
+
+    @property
+    def observers(self) -> tuple[EventHook, ...]:
+        """The installed observers, in dispatch order."""
+        return self._observers
+
+    def _rebuild_dispatch(self) -> None:
+        observers = self._observers
+        if not observers:
+            self._dispatch = None
+        elif len(observers) == 1:
+            self._dispatch = observers[0]
+        else:
+            self._dispatch = self._dispatch_all
+
+    def _dispatch_all(self, event: "Event") -> None:
+        # Reads the tuple once; observers added/removed by an observer
+        # affect the next event, not this dispatch.
+        for fn in self._observers:
+            fn(event)
+
+    @property
+    def event_hook(self) -> Optional[EventHook]:
+        """Single-callable view of the observer list (legacy API).
+
+        Returns None with no observers, the observer itself with exactly
+        one, and a snapshot composite (calling every current observer in
+        order) with several — so pre-observer code that saves the prior
+        hook and chains to it keeps working unchanged.
+        """
+        observers = self._observers
+        if not observers:
+            return None
+        if len(observers) == 1:
+            return observers[0]
+
+        def chained(event: "Event", _observers=observers) -> None:
+            for fn in _observers:
+                fn(event)
+
+        return chained
+
+    @event_hook.setter
+    def event_hook(self, fn: Optional[EventHook]) -> None:
+        """Replace *all* observers with ``fn`` (legacy single-hook setter)."""
+        self._observers = () if fn is None else (fn,)
+        self._rebuild_dispatch()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -264,7 +352,10 @@ class Simulator:
                     free.append(event)
                     continue
                 self.now = event[_TIME]
-                hook = self.event_hook
+                # Plain-attribute read (not the event_hook property): this
+                # is the per-event fast path and must stay one branch when
+                # nothing is observing.
+                hook = self._dispatch
                 if hook is not None:
                     hook(event)
                 fn = event[_FN]
@@ -303,8 +394,9 @@ class Simulator:
                 self._recycle(event)
                 continue
             self.now = event[_TIME]
-            if self.event_hook is not None:
-                self.event_hook(event)
+            hook = self._dispatch
+            if hook is not None:
+                hook(event)
             event[_FN](*event[_ARGS])
             self._events_executed += 1
             self._recycle(event)

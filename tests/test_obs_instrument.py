@@ -1,0 +1,159 @@
+"""Instrumented runs: event coverage, non-perturbation, trace determinism."""
+
+import pytest
+
+from repro.analysis.replay import run_scenario
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Tracer,
+    read_trace,
+)
+from repro.obs.cli import diff_traces
+
+ALL_POLICIES = ("deterministic", "drb", "pr-drb", "fr-drb")
+
+
+def traced_run(policy, tmp_path=None, metrics=None, cadence=None, seed=0):
+    sinks = [MemorySink()]
+    if tmp_path is not None:
+        sinks.append(JsonlSink(tmp_path, label=policy))
+    tracer = Tracer(sinks=sinks)
+    digest = run_scenario(
+        seed=seed, policy=policy, repetitions=2,
+        tracer=tracer, metrics=metrics, metrics_cadence_s=cadence,
+    )
+    tracer.close()
+    return digest, tracer
+
+
+class TestNonPerturbation:
+    """The PR's core invariant: observation never changes behavior."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_digests_identical_with_and_without_tracing(self, policy):
+        bare = run_scenario(seed=0, policy=policy, repetitions=2)
+        traced, tracer = traced_run(
+            policy, metrics=MetricsRegistry(), cadence=5e-5
+        )
+        assert tracer.emitted > 0
+        assert traced.events == bare.events
+        assert traced.metrics == bare.metrics
+        assert traced.events_executed == bare.events_executed
+
+
+class TestTraceDeterminism:
+    """Same seed => byte-identical JSONL, modulo the header label."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_same_seed_traces_byte_identical(self, policy, tmp_path):
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        traced_run(policy, tmp_path=path_a)
+        traced_run(policy, tmp_path=path_b)
+        body_a = path_a.read_text().splitlines()[1:]
+        body_b = path_b.read_text().splitlines()[1:]
+        assert body_a == body_b
+        assert len(body_a) > 100
+        assert diff_traces(path_a, path_b) == []
+
+    def test_different_seeds_diverge(self, tmp_path):
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        traced_run("pr-drb", tmp_path=path_a, seed=0)
+        traced_run("pr-drb", tmp_path=path_b, seed=1)
+        assert diff_traces(path_a, path_b) != []
+
+
+class TestEventCoverage:
+    def test_drb_emits_metapath_lifecycle(self):
+        _, tracer = traced_run("drb")
+        counts = tracer.counts()
+        assert counts["zone.transition"] > 0
+        assert counts["msp.open"] > 0
+        assert counts["msp.select"] > 0
+        assert counts["notify.send"] > 0
+        assert counts["notify.recv"] > 0
+        assert counts["congestion.episode"] > 0
+
+    def test_prdrb_emits_prediction_events(self):
+        _, tracer = traced_run("pr-drb")
+        counts = tracer.counts()
+        assert counts["prediction.save"] > 0
+        assert counts["prediction.hit"] > 0
+        assert counts["prediction.miss"] > 0
+
+    def test_congestion_episode_has_duration(self):
+        _, tracer = traced_run("pr-drb")
+        episodes = tracer.by_name("congestion.episode")
+        assert episodes and all(e.ph == "X" and e.dur > 0 for e in episodes)
+
+    def test_deterministic_policy_emits_only_fabric_events(self):
+        _, tracer = traced_run("deterministic")
+        categories = {r.category for r in tracer.records}
+        assert categories <= {"packet", "msg", "router"}
+
+    def test_tracks_cover_flows_and_routers(self):
+        _, tracer = traced_run("pr-drb")
+        kinds = {r.track[0] for r in tracer.records}
+        assert {"flow", "router"} <= kinds
+
+
+class TestFabricMetrics:
+    def test_registry_mirrors_fabric_counters(self):
+        metrics = MetricsRegistry()
+        digest, _ = traced_run("pr-drb", metrics=metrics, cadence=5e-5)
+        assert len(metrics.snapshots) > 2
+        last = metrics.snapshots[-1]
+        assert last["gauges"]["fabric.data_packets_delivered"] == pytest.approx(
+            digest.packets_delivered
+        )
+        db = last["solution_db"]
+        assert db["hits"] > 0
+        assert db["saves"] > 0
+        assert 0.0 < db["hit_rate"] <= 1.0
+        assert last["policy"]["solutions_applied"] == db["hits"]
+        # Monotone counters never decrease across snapshots.
+        delivered = [
+            s["gauges"]["fabric.data_packets_delivered"]
+            for s in metrics.snapshots
+        ]
+        assert delivered == sorted(delivered)
+
+    def test_solutions_missed_stays_out_of_policy_stats(self):
+        """The digest freezes stats() keys; the obs-only miss counter must
+        never leak into them (it would break every committed baseline)."""
+        from repro.routing import make_policy
+
+        policy = make_policy("pr-drb")
+        assert policy.solutions_missed == 0
+        assert "solutions_missed" not in policy.stats()
+        assert "solutions_missed" not in policy.pattern_stats()
+
+
+class TestParallelTraceFiles:
+    def test_sweep_writes_trace_next_to_cache_entry(self, tmp_path):
+        from repro.parallel import SimTask, SweepConfig, run_sweep
+
+        task = SimTask(
+            kind="replay",
+            params={"policy": "pr-drb", "seed": 0, "mesh_side": 4,
+                    "repetitions": 2},
+            label="obs/s0",
+        )
+        config = SweepConfig(
+            workers=1, cache_dir=str(tmp_path), trace=True,
+            code_version="obstest000000001",
+        )
+        report = run_sweep([task], config)
+        assert report.all_ok
+        traces = list(tmp_path.glob("??/*.trace.jsonl"))
+        assert len(traces) == 1
+        header, records = read_trace(traces[0])
+        assert header["label"] == "obs/s0"
+        assert any(r.name == "packet.deliver" for r in records)
+        # The traced cell's digests match an untraced direct run.
+        direct = run_scenario(seed=0, policy="pr-drb", repetitions=2)
+        assert report.results[0]["events"] == direct.events
+        assert report.results[0]["metrics"] == direct.metrics

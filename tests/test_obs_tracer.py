@@ -1,0 +1,139 @@
+"""Tracer core: records, ring buffer, sinks, JSONL and Perfetto export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_VERSION,
+    JsonlSink,
+    MemorySink,
+    TraceRecord,
+    Tracer,
+    category,
+    read_trace,
+    to_perfetto,
+    write_perfetto,
+)
+
+
+class TestTraceRecord:
+    def test_category_is_text_before_first_dot(self):
+        assert category("packet.inject") == "packet"
+        assert category("zone.transition") == "zone"
+        record = TraceRecord(1.0, "msp.open", ("flow", "0-5"))
+        assert record.category == "msp"
+
+    def test_json_round_trip(self):
+        record = TraceRecord(
+            2.5e-4, "congestion.episode", ("flow", "0-5"),
+            ph="X", dur=1e-4, args={"active": 3},
+        )
+        back = TraceRecord.from_json_obj(record.to_json_obj())
+        assert back == record
+
+    def test_instant_record_omits_dur_and_args(self):
+        obj = TraceRecord(0.0, "packet.inject", ("flow", "0-1")).to_json_obj()
+        assert "dur" not in obj
+        assert "args" not in obj
+
+
+class TestTracer:
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.emit(float(i), "packet.inject", ("flow", "0-1"))
+        assert tracer.emitted == 5
+        assert tracer.dropped == 2
+        assert [r.ts for r in tracer.records] == [2.0, 3.0, 4.0]
+
+    def test_sinks_see_full_stream_past_ring_capacity(self):
+        sink = MemorySink()
+        tracer = Tracer(capacity=2, sinks=[sink])
+        for i in range(6):
+            tracer.emit(float(i), "packet.inject", ("flow", "0-1"))
+        assert len(sink.records) == 6
+        assert len(tracer.records) == 2
+
+    def test_counts_and_by_name(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "packet.inject", ("flow", "0-1"))
+        tracer.emit(1.0, "packet.inject", ("flow", "0-1"))
+        tracer.emit(2.0, "packet.deliver", ("flow", "0-1"))
+        assert tracer.counts() == {"packet.deliver": 1, "packet.inject": 2}
+        assert [r.ts for r in tracer.by_name("packet.inject")] == [0.0, 1.0]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestJsonl:
+    def test_header_then_records_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(path, label="unit")])
+        tracer.emit(0.0, "packet.inject", ("flow", "0-1"), args={"size_bytes": 64})
+        tracer.emit(1e-6, "packet.deliver", ("flow", "0-1"), args={"latency_s": 1e-6})
+        tracer.close()
+        header, records = read_trace(path)
+        assert header["type"] == "header"
+        assert header["version"] == TRACE_VERSION
+        assert header["label"] == "unit"
+        assert [r.name for r in records] == ["packet.inject", "packet.deliver"]
+        assert records[0].args == {"size_bytes": 64}
+        assert records[0].track == ("flow", "0-1")
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(path)])
+        tracer.emit(0.5, "zone.transition", ("flow", "0-1"), args={"to": "H", "from": "L"})
+        tracer.close()
+        lines = path.read_text().splitlines()
+        # Sorted keys, compact separators: byte-stable across runs.
+        assert lines[1] == (
+            '{"args":{"from":"L","to":"H"},"name":"zone.transition",'
+            '"ph":"i","track":["flow","0-1"],"ts":0.5}'
+        )
+
+
+class TestPerfetto:
+    def _records(self):
+        return [
+            TraceRecord(0.0, "packet.inject", ("flow", "0-5")),
+            TraceRecord(1e-6, "router.contention", ("router", 2), args={"wait_s": 1e-6}),
+            TraceRecord(1e-6, "router.queue_bytes", ("router", 2), ph="C",
+                        args={"value": 2048, "port": "host:5"}),
+            TraceRecord(2e-6, "congestion.episode", ("flow", "0-5"), ph="X",
+                        dur=1e-6, args={"active": 2}),
+        ]
+
+    def test_tracks_become_processes_and_threads(self):
+        doc = to_perfetto(self._records(), label="unit")
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        # Two track kinds (flow, router) -> two distinct pids.
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2
+
+    def test_timestamps_scaled_to_microseconds(self):
+        events = to_perfetto(self._records())["traceEvents"]
+        episode = next(e for e in events if e["name"] == "congestion.episode")
+        assert episode["ph"] == "X"
+        assert episode["ts"] == pytest.approx(2.0)
+        assert episode["dur"] == pytest.approx(1.0)
+        instant = next(e for e in events if e["name"] == "packet.inject")
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+
+    def test_counter_events_keep_only_numeric_args(self):
+        events = to_perfetto(self._records())["traceEvents"]
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"value": 2048}
+
+    def test_write_perfetto_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_perfetto(path, self._records(), label="unit")
+        doc = json.loads(path.read_text())
+        assert doc["label"] == "unit"
+        assert len(doc["traceEvents"]) >= len(self._records())

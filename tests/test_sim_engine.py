@@ -295,3 +295,92 @@ def test_step_skips_cancelled_without_counting():
     assert fired == ["y"]
     assert sim.events_executed == 1
     assert sim.step() is False
+
+
+# ----------------------------------------------------------------------
+# Observers (multi-observer dispatch + legacy event_hook property)
+# ----------------------------------------------------------------------
+def test_observers_dispatch_in_registration_order():
+    sim = Simulator()
+    seen = []
+    sim.add_observer(lambda ev: seen.append(("first", ev.time)))
+    sim.add_observer(lambda ev: seen.append(("second", ev.time)))
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 1.0)]
+
+
+def test_remove_observer_during_dispatch_takes_effect_next_event():
+    sim = Simulator()
+    seen = []
+
+    def second(ev):
+        seen.append(("second", ev.time))
+
+    def first(ev):
+        seen.append(("first", ev.time))
+        # Removing a later observer mid-dispatch must not skip it for the
+        # event being dispatched (snapshot semantics) but must silence it
+        # from the next event on.
+        sim.remove_observer(second)
+
+    sim.add_observer(first)
+    sim.add_observer(second)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 1.0), ("first", 2.0)]
+
+
+def test_remove_observer_returns_false_when_absent():
+    sim = Simulator()
+    assert sim.remove_observer(lambda ev: None) is False
+    fn = sim.add_observer(lambda ev: None)
+    assert sim.remove_observer(fn) is True
+    assert sim.remove_observer(fn) is False
+    assert sim.observers == ()
+
+
+def test_event_hook_property_reflects_observer_list():
+    sim = Simulator()
+    assert sim.event_hook is None
+    a = sim.add_observer(lambda ev: None)
+    assert sim.event_hook is a
+    b = sim.add_observer(lambda ev: None)
+    composite = sim.event_hook
+    assert composite is not a and composite is not b
+    sim.remove_observer(b)
+    assert sim.event_hook is a
+
+
+def test_event_hook_setter_replaces_all_observers():
+    sim = Simulator()
+    seen = []
+    sim.add_observer(lambda ev: seen.append("old-a"))
+    sim.add_observer(lambda ev: seen.append("old-b"))
+    sim.event_hook = lambda ev: seen.append("new")
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert seen == ["new"]
+    sim.event_hook = None
+    assert sim.observers == ()
+
+
+def test_event_hook_composite_is_callable_snapshot():
+    sim = Simulator()
+    seen = []
+    sim.add_observer(lambda ev: seen.append("a"))
+    sim.add_observer(lambda ev: seen.append("b"))
+    composite = sim.event_hook
+    ev = sim.schedule(1.0, lambda: None)
+    composite(ev)
+    assert seen == ["a", "b"]
+
+
+def test_step_dispatches_observers():
+    sim = Simulator()
+    seen = []
+    sim.add_observer(lambda ev: seen.append(ev.time))
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert seen == [1.0]
