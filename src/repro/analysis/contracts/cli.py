@@ -1,0 +1,184 @@
+"""CLI driver for ``python -m repro.analysis check``.
+
+Runs the contract passes over the analyzed roots, compares findings
+against the ratchet baseline, and renders text/JSON/SARIF.  Exit codes:
+
+* 0 — no findings beyond the baseline;
+* 1 — new findings (or any findings when no baseline is given);
+* 2 — usage/environment errors.
+
+Typical invocations::
+
+    python -m repro.analysis check                     # src/repro, text
+    python -m repro.analysis check --format sarif --out contracts.sarif
+    python -m repro.analysis check --baseline analysis_baseline.json
+    python -m repro.analysis check --update-baseline   # re-ratchet
+    python -m repro.analysis check --update-manifest   # commit new stats keys
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: conventional baseline location (repo root, committed).
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+    import json
+
+    from repro.analysis import contracts
+    from repro.analysis.reporting import (
+        Baseline,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis check",
+        description="Cross-module contract analyzer for the PR-DRB simulator.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    parser.add_argument(
+        "--pass",
+        action="append",
+        dest="pass_names",
+        choices=sorted(contracts.PASS_CATALOGUE),
+        help="run only this pass (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out", help="write the report to this file instead of stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        help=(
+            "ratchet baseline JSON; findings it covers don't fail the run "
+            f"(default: {DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any default baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--manifest",
+        help=(
+            "frozen-stats-keys manifest "
+            f"(default: {contracts.DEFAULT_MANIFEST} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-manifest",
+        action="store_true",
+        help="rewrite the stats manifest from the current tree and exit 0",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="print the pass catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for name in sorted(contracts.PASS_CATALOGUE):
+            print(f"{name}: {contracts.PASS_CATALOGUE[name]}")
+        return 0
+
+    # The cwd-default manifest only applies when analyzing this repo's
+    # own tree (the default paths) — against an arbitrary fixture tree
+    # it would report every manifest class as missing.
+    analyzing_repo = all(
+        Path(p).resolve() == Path("src/repro").resolve()
+        or Path("src/repro").resolve() in Path(p).resolve().parents
+        for p in (args.paths or ["src/repro"])
+    )
+    manifest_path = args.manifest
+    if (
+        manifest_path is None
+        and analyzing_repo
+        and Path(contracts.DEFAULT_MANIFEST).exists()
+    ):
+        manifest_path = contracts.DEFAULT_MANIFEST
+
+    try:
+        graph = contracts.ModuleGraph.from_paths(args.paths or ["src/repro"])
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_manifest:
+        target = manifest_path or contracts.DEFAULT_MANIFEST
+        document = contracts.build_manifest(graph)
+        Path(target).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {target} ({len(document['classes'])} stats classes)")
+        return 0
+
+    report = contracts.analyze_graph(
+        graph, passes=args.pass_names, manifest_path=manifest_path
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_violations(report.findings).save(target)
+        print(f"wrote {target} ({len(report.findings)} findings ratcheted)")
+        return 0
+
+    failing = report.findings
+    absorbed = 0
+    stale_entries: list[dict] = []
+    if baseline_path is not None:
+        try:
+            delta = Baseline.load(baseline_path).compare(report.findings)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        failing = delta.new
+        absorbed = delta.suppressed
+        stale_entries = delta.stale
+
+    if args.format == "sarif":
+        rendered = render_sarif(failing, contracts.PASS_CATALOGUE)
+    elif args.format == "json":
+        rendered = render_json(failing, report.files_checked)
+    else:
+        rendered = render_text(failing, report.files_checked)
+        extras = []
+        if absorbed:
+            extras.append(f"{absorbed} finding(s) absorbed by baseline {baseline_path}")
+        if stale_entries:
+            extras.append(
+                f"{len(stale_entries)} stale baseline entr"
+                f"{'y' if len(stale_entries) == 1 else 'ies'} (debt paid down) — "
+                "run --update-baseline to ratchet"
+            )
+        if extras:
+            rendered = rendered + "\n" + "\n".join(extras)
+
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 1 if failing else 0

@@ -1,0 +1,529 @@
+"""Shared module graph and symbol table for the contract passes.
+
+All five contract passes (:mod:`repro.analysis.contracts`) need the same
+cross-module facts that a single-file linter cannot see: which class a
+variable is an instance of, what ``__slots__`` a class (plus its bases)
+declares, what signature a callback scheduled three modules away has.
+:class:`ModuleGraph` parses every module under the analyzed roots once
+and exposes:
+
+* :class:`ModuleInfo` — source, AST, dotted module name, and an import
+  table mapping local names to their dotted origins;
+* :class:`ClassInfo` — slots/dataclass-field declarations, class-level
+  attribute names (methods, properties, class vars), and base-class
+  links that :meth:`ModuleGraph.allowed_attributes` folds into the full
+  writable-attribute set;
+* :class:`FunctionInfo` — positional/keyword signature facts for the
+  scheduler-callback arity pass.
+
+Resolution is deliberately *syntactic*: a name resolves through the
+import table and the class/function indexes or not at all.  Passes skip
+what they cannot resolve — the contract checks trade recall for zero
+runtime execution of the analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleGraph",
+    "ModuleInfo",
+    "module_name_for",
+]
+
+#: bases whose presence does not grant an instance ``__dict__`` (so a
+#: slotted subclass stays closed) and contributes no slot names.
+_CLOSED_BUILTIN_BASES = {
+    "object",
+    "list",
+    "tuple",
+    "int",
+    "float",
+    "str",
+    "bytes",
+    "frozenset",
+}
+
+#: bases that make attribute assignment irrelevant or unknowable; classes
+#: inheriting from these are skipped by the slots pass.
+_OPAQUE_BASES = {
+    "Exception",
+    "BaseException",
+    "NamedTuple",
+    "Protocol",
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "TypedDict",
+    "ABC",
+}
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through ``__init__.py``
+    packages (``src/repro/network/router.py`` -> ``repro.network.router``)."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """Signature facts for one function or method."""
+
+    name: str
+    qualname: str  # module.Class.method or module.function
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: positional parameter names (posonly + regular), including ``self``.
+    positional: tuple[str, ...]
+    #: number of positional parameters carrying defaults.
+    defaults: int
+    has_vararg: bool
+    has_kwarg: bool
+    #: keyword-only parameter names without defaults (never satisfiable
+    #: by a ``fn(*args)`` dispatch).
+    required_kwonly: tuple[str, ...]
+    is_method: bool
+    #: True for ``@staticmethod`` (no bound ``self``).
+    is_static: bool
+    lineno: int
+
+    @property
+    def bound_positional(self) -> int:
+        """Positional slot count as seen through a bound reference."""
+        n = len(self.positional)
+        if self.is_method and not self.is_static:
+            n -= 1
+        return max(n, 0)
+
+    def arity_range(self) -> tuple[int, Optional[int]]:
+        """(min, max) positional args accepted via a bound reference;
+        ``max`` is None with ``*args``."""
+        maximum: Optional[int] = None if self.has_vararg else self.bound_positional
+        minimum = max(self.bound_positional - self.defaults, 0)
+        return minimum, maximum
+
+
+@dataclass
+class ClassInfo:
+    """Declaration facts for one class."""
+
+    name: str
+    qualname: str  # module.Class
+    module: str
+    node: ast.ClassDef
+    #: base-class dotted names as written at the class statement.
+    bases: tuple[str, ...]
+    #: names from an explicit ``__slots__`` literal; None when absent.
+    slots: Optional[tuple[str, ...]]
+    #: True when ``__slots__`` exists but is not a string/tuple literal.
+    slots_dynamic: bool
+    #: True for ``@dataclass(slots=True)``.
+    dataclass_slots: bool
+    #: annotated field names from the class body (dataclass fields).
+    fields: tuple[str, ...]
+    #: every other class-level name: methods, properties, class vars.
+    class_attrs: tuple[str, ...]
+    #: methods defined directly on this class, by name.
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    lineno: int = 0
+
+    @property
+    def slotted(self) -> bool:
+        """True when instances have no ``__dict__`` by declaration."""
+        return self.dataclass_slots or (self.slots is not None and not self.slots_dynamic)
+
+    def own_attributes(self) -> set[str]:
+        """Names writable on instances per this class's own declaration."""
+        out: set[str] = set(self.class_attrs)
+        if self.slots:
+            out.update(self.slots)
+        if self.dataclass_slots:
+            out.update(self.fields)
+        return out
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: local name -> dotted origin (``Packet`` -> ``repro.network.packet.Packet``,
+    #: ``np`` -> ``numpy``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level function defs by name.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level class defs by name.
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level names bound to mutable containers (dict/list/set
+    #: displays or constructor calls) — ambient state under spawn.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: names written through a ``global`` statement anywhere in the module.
+    global_writes: set[str] = field(default_factory=set)
+
+
+_MUTABLE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+    "bytearray",
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: str,
+    qualprefix: str,
+    is_method: bool,
+) -> FunctionInfo:
+    args = node.args
+    positional = tuple(a.arg for a in [*args.posonlyargs, *args.args])
+    is_static = any(
+        isinstance(d, ast.Name) and d.id == "staticmethod" for d in node.decorator_list
+    )
+    required_kwonly = tuple(
+        a.arg
+        for a, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is None
+    )
+    return FunctionInfo(
+        name=node.name,
+        qualname=f"{qualprefix}.{node.name}" if qualprefix else node.name,
+        module=module,
+        node=node,
+        positional=positional,
+        defaults=len(args.defaults),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        required_kwonly=required_kwonly,
+        is_method=is_method,
+        is_static=is_static,
+        lineno=node.lineno,
+    )
+
+
+def _slots_literal(value: ast.expr) -> tuple[Optional[tuple[str, ...]], bool]:
+    """(names, dynamic) for a ``__slots__`` assignment's value."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return (value.value,), False
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        names: list[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None, True
+        return tuple(names), False
+    return None, True
+
+
+def _is_dataclass_slots(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    name = _dotted(decorator.func)
+    if name is None or name.split(".")[-1] != "dataclass":
+        return False
+    for kw in decorator.keywords:
+        if kw.arg == "slots":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    name = _dotted(annotation)
+    if name is not None:
+        return name.split(".")[-1] == "ClassVar"
+    if isinstance(annotation, ast.Subscript):
+        base = _dotted(annotation.value)
+        return base is not None and base.split(".")[-1] == "ClassVar"
+    return False
+
+
+def _class_info(node: ast.ClassDef, module: str) -> ClassInfo:
+    bases = tuple(n for n in (_dotted(b) for b in node.bases) if n is not None)
+    dataclass_slots = any(_is_dataclass_slots(d) for d in node.decorator_list)
+    slots: Optional[tuple[str, ...]] = None
+    slots_dynamic = False
+    fields_: list[str] = []
+    class_attrs: list[str] = []
+    methods: dict[str, FunctionInfo] = {}
+    qualname = f"{module}.{node.name}"
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(stmt, module, qualname, is_method=True)
+            methods[stmt.name] = info
+            class_attrs.append(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__slots__":
+                        slots, slots_dynamic = _slots_literal(stmt.value)
+                    else:
+                        class_attrs.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id == "__slots__":
+                if stmt.value is not None:
+                    slots, slots_dynamic = _slots_literal(stmt.value)
+            elif _is_classvar(stmt.annotation):
+                class_attrs.append(stmt.target.id)
+            else:
+                fields_.append(stmt.target.id)
+    return ClassInfo(
+        name=node.name,
+        qualname=qualname,
+        module=module,
+        node=node,
+        bases=bases,
+        slots=slots,
+        slots_dynamic=slots_dynamic,
+        dataclass_slots=dataclass_slots,
+        fields=tuple(fields_),
+        class_attrs=tuple(class_attrs),
+        methods=methods,
+        lineno=node.lineno,
+    )
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports: not used in this codebase
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_mutable_globals(tree: ast.Module) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp))
+        if not mutable and isinstance(value, ast.Call):
+            callee = _dotted(value.func)
+            if callee is not None and callee.split(".")[-1] in _MUTABLE_FACTORIES:
+                mutable = True
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt.lineno
+    return out
+
+
+def _collect_global_writes(tree: ast.Module) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            out.update(node.names)
+    return out
+
+
+class ModuleGraph:
+    """Every parsed module under the analyzed roots, cross-indexed."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: qualname (module.Class) -> ClassInfo
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare class name -> ClassInfos sharing it (usually exactly one)
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        #: qualname (module.fn / module.Class.fn) -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_paths(cls, paths: Sequence[str | Path]) -> "ModuleGraph":
+        graph = cls()
+        seen: set[Path] = set()
+        for entry in paths:
+            p = Path(entry)
+            if not p.exists():
+                raise FileNotFoundError(f"no such file or directory: {entry}")
+            files = (
+                sorted(f for f in p.rglob("*.py") if "__pycache__" not in f.parts)
+                if p.is_dir()
+                else [p]
+            )
+            for file in files:
+                resolved = file.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                graph.add_module(file)
+        return graph
+
+    def add_module(self, path: str | Path) -> ModuleInfo:
+        file = Path(path)
+        source = file.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file))
+        name = module_name_for(file)
+        info = ModuleInfo(
+            name=name,
+            path=str(file),
+            source=source,
+            tree=tree,
+            imports=_collect_imports(tree),
+            mutable_globals=_collect_mutable_globals(tree),
+            global_writes=_collect_global_writes(tree),
+        )
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = _function_info(stmt, name, name, is_method=False)
+                info.functions[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(stmt, ast.ClassDef):
+                ci = _class_info(stmt, name)
+                info.classes[stmt.name] = ci
+                self.classes[ci.qualname] = ci
+                self.classes_by_name.setdefault(ci.name, []).append(ci)
+                for method in ci.methods.values():
+                    self.functions[method.qualname] = method
+        self.modules[name] = info
+        return info
+
+    # -- resolution -----------------------------------------------------
+    def resolve_class(self, name: str, module: ModuleInfo) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted) class name as seen from ``module``."""
+        terminal = name.split(".")[-1]
+        # Same-module definition wins.
+        if name in module.classes:
+            return module.classes[name]
+        # Through the import table: ``from m import C`` or ``import m`` + m.C.
+        origin = module.imports.get(name.split(".")[0])
+        if origin is not None:
+            dotted = origin if "." not in name else f"{origin}.{'.'.join(name.split('.')[1:])}"
+            found = self.classes.get(dotted)
+            if found is not None:
+                return found
+        # Fall back to a unique bare-name match across the graph.
+        candidates = self.classes_by_name.get(terminal, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_function(self, name: str, module: ModuleInfo) -> Optional[FunctionInfo]:
+        """Resolve a module-level function name as seen from ``module``."""
+        if name in module.functions:
+            return module.functions[name]
+        origin = module.imports.get(name)
+        if origin is not None:
+            found = self.functions.get(origin)
+            if found is not None and not found.is_method:
+                return found
+        return None
+
+    def resolve_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        """Find ``name`` on ``cls`` or its resolvable bases (MRO-ish)."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            module = self.modules.get(current.module)
+            if module is None:
+                continue
+            for base in current.bases:
+                resolved = self.resolve_class(base, module)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def base_classes(self, cls: ClassInfo) -> tuple[list[ClassInfo], list[str]]:
+        """(resolved bases transitively, unresolved base names)."""
+        resolved: list[ClassInfo] = []
+        unresolved: list[str] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            module = self.modules.get(current.module)
+            for base in current.bases:
+                found = module and self.resolve_class(base, module)
+                if found is not None:
+                    if found.qualname not in seen:
+                        seen.add(found.qualname)
+                        resolved.append(found)
+                        stack.append(found)
+                else:
+                    unresolved.append(base)
+        return resolved, unresolved
+
+    def allowed_attributes(self, cls: ClassInfo) -> tuple[Optional[set[str]], str]:
+        """Writable-attribute set for a slotted class, or (None, reason)
+        when the class cannot be checked soundly.
+
+        A class is checkable when it (or a base) declares slots, every
+        base resolves to a graph class or a closed builtin, and no base
+        carries a dynamic ``__slots__``.
+        """
+        if not cls.slotted:
+            return None, "class is not slotted"
+        bases, unresolved = self.base_classes(cls)
+        for base in unresolved:
+            terminal = base.split(".")[-1]
+            if terminal in _OPAQUE_BASES:
+                return None, f"opaque base {base}"
+            if terminal not in _CLOSED_BUILTIN_BASES:
+                return None, f"unresolved base {base}"
+        allowed = cls.own_attributes()
+        for base in bases:
+            if base.slots_dynamic:
+                return None, f"dynamic __slots__ on base {base.name}"
+            if not base.slotted:
+                # A non-slotted resolvable base grants a __dict__: the
+                # subclass is open and assignment is unchecked.
+                return None, f"non-slotted base {base.name}"
+            allowed.update(base.own_attributes())
+        return allowed, ""

@@ -1,0 +1,341 @@
+"""digest-purity: observation code must never write simulation state.
+
+The whole observability contract (docs/observability.md) is one line:
+*tracing on and tracing off execute the identical event stream*.  The
+runtime half is enforced by ``repro.obs selftest`` digests; this pass is
+the static half.  It checks three scopes:
+
+1. **guarded branches** — the body of every ``if <x>.tracer is not None``
+   conditional (the idiom all instrumented layers use) may only talk to
+   observation objects.  Assigning a simulation attribute, or calling a
+   scheduling/injection method, inside such a branch means behaviour
+   differs with a tracer installed — exactly what the digests would
+   catch hours later at replay time;
+2. **obs modules** — functions in ``repro/obs/`` may install observation
+   hooks (the ``tracer`` attribute, ``add_observer``) on model objects
+   passed to them but must not mutate any other attribute;
+3. **metrics providers** — callables registered through
+   ``MetricsRegistry.gauge(...)`` / ``provider(...)`` are pulled at
+   snapshot time; a mutating provider makes snapshot cadence behavioural.
+
+Suppress a deliberate exception with ``# repro: allow(digest-purity)``
+on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.contracts.graph import ModuleGraph, ModuleInfo
+from repro.analysis.lint import Violation
+
+__all__ = ["DigestPurityPass"]
+
+RULE = "digest-purity"
+
+#: receiver names that are observation machinery — writes/calls are fine.
+_OBS_NAMES = {
+    "tracer",
+    "metrics",
+    "registry",
+    "sink",
+    "sinks",
+    "record",
+    "records",
+    "snapshot",
+    "snap",
+    "histogram",
+    "counter",
+    "gauge",
+    "trace",
+    "out",
+    "args",
+}
+
+#: attribute names observation code may install on model objects.
+_ALLOWED_ATTRS = {"tracer"}
+
+#: method calls that mutate simulation state or the event calendar.
+_MUTATING_CALLS = {
+    "schedule",
+    "schedule_at",
+    "inject",
+    "send",
+    "submit",
+    "stop",
+    "resume",
+    "cancel",
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popleft",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "prune",
+    "invalidate",
+}
+
+#: calls that *register* observation and are therefore allowed even on
+#: model receivers (they ride the observer list, not the event queue).
+_OBS_REGISTRATION_CALLS = {
+    "add_observer",
+    "remove_observer",
+    "add_sink",
+    "emit",
+    "observe",
+    "inc",
+    "attach",
+    "bind_recorder",
+    "write",
+}
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """Leftmost receiver of an attribute/subscript chain's *container*.
+
+    For ``a.b.c = x`` the mutated object is ``a.b`` — return ``b``; for
+    ``a.b[k] = x`` the mutated object is ``a.b`` — return ``b``; for
+    ``a.b = x`` return... the attribute's owner ``a``.
+    """
+    if isinstance(node, ast.Attribute):
+        return _terminal_name(node.value)
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _is_obs_name(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower().lstrip("_")
+    return lowered in _OBS_NAMES or "tracer" in lowered or "metric" in lowered
+
+
+class _RegionChecker(ast.NodeVisitor):
+    """Flags impure statements inside one observation region."""
+
+    def __init__(self, path: str, out: list[Violation], context: str) -> None:
+        self.path = path
+        self.out = out
+        self.context = context
+        #: names bound inside the region — writes to those are local.
+        self.local_names: set[str] = set()
+
+    # -- helpers --------------------------------------------------------
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.out.append(
+            Violation(
+                rule=RULE,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=f"{message} {self.context}",
+            )
+        )
+
+    def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.local_names.add(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, node)
+            return
+        if isinstance(target, ast.Attribute):
+            owner = _terminal_name(target.value)
+            if target.attr in _ALLOWED_ATTRS:
+                return
+            if _is_obs_name(owner) or (owner in self.local_names):
+                return
+            self._flag(
+                node,
+                f"assignment to simulation state `{ast.unparse(target)}`",
+            )
+            return
+        if isinstance(target, ast.Subscript):
+            owner = _base_name(target)
+            if _is_obs_name(owner) or (owner in self.local_names):
+                return
+            self._flag(
+                node,
+                f"subscript write to simulation state `{ast.unparse(target)}`",
+            )
+
+    # -- visitors -------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                owner = _base_name(target) if isinstance(target, ast.Subscript) else _terminal_name(target.value)
+                if not _is_obs_name(owner) and owner not in self.local_names:
+                    self._flag(node, f"deletion of simulation state `{ast.unparse(target)}`")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_CALLS:
+            owner = _terminal_name(func.value)
+            if not _is_obs_name(owner) and owner not in self.local_names:
+                self._flag(
+                    node,
+                    f"call to mutating method `{ast.unparse(func)}(...)`",
+                )
+        self.generic_visit(node)
+
+    # A nested function/lambda defined inside the region runs later in an
+    # unknown context; check its body under the same rules.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def _tracer_guard(test: ast.expr) -> bool:
+    """True for ``<x>.tracer is not None`` (possibly inside an ``and``)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_tracer_guard(value) for value in test.values)
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        name = _terminal_name(test.left)
+        return name is not None and "tracer" in name.lower()
+    return False
+
+
+def _provider_registration(node: ast.Call) -> Optional[ast.expr]:
+    """The callable argument of a ``metrics.gauge/provider`` registration."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in ("gauge", "provider"):
+        return None
+    owner = _terminal_name(func.value)
+    if owner is None or not ("metric" in owner.lower() or "registry" in owner.lower()):
+        return None
+    if len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+class DigestPurityPass:
+    name = RULE
+    summary = "observation code writing simulation state"
+
+    def check(self, graph: ModuleGraph) -> list[Violation]:
+        out: list[Violation] = []
+        for module in sorted(graph.modules.values(), key=lambda m: m.path):
+            self._check_guarded_branches(module, out)
+            if ".obs." in f".{module.name}." or module.name.endswith(".obs"):
+                self._check_obs_module(module, out)
+            self._check_providers(module, graph, out)
+        return out
+
+    # -- scope 1: tracer-guarded branches -------------------------------
+    def _check_guarded_branches(self, module: ModuleInfo, out: list[Violation]) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.If) and _tracer_guard(node.test):
+                checker = _RegionChecker(
+                    module.path, out, "inside a tracer-guarded branch"
+                )
+                for stmt in node.body:
+                    checker.visit(stmt)
+
+    # -- scope 2: obs-package functions ---------------------------------
+    def _check_obs_module(self, module: ModuleInfo, out: list[Violation]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = {
+                a.arg
+                for a in [*node.args.posonlyargs, *node.args.args]
+                if a.arg not in ("self", "cls")
+            }
+            if not params:
+                continue
+            for stmt in ast.walk(node):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AugAssign):
+                    targets = [stmt.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, (ast.Name, ast.Attribute))
+                        and target.attr not in _ALLOWED_ATTRS
+                    ):
+                        root = target.value
+                        while isinstance(root, ast.Attribute):
+                            root = root.value
+                        if isinstance(root, ast.Name) and root.id in params:
+                            out.append(
+                                Violation(
+                                    rule=RULE,
+                                    path=module.path,
+                                    line=stmt.lineno,
+                                    col=stmt.col_offset,
+                                    message=(
+                                        f"obs module writes model attribute "
+                                        f"`{ast.unparse(target)}` (only `tracer` "
+                                        "installation is allowed)"
+                                    ),
+                                )
+                            )
+
+    # -- scope 3: metrics providers -------------------------------------
+    def _check_providers(
+        self, module: ModuleInfo, graph: ModuleGraph, out: list[Violation]
+    ) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn_arg = _provider_registration(node)
+            if fn_arg is None:
+                continue
+            context = "inside a metrics provider/gauge callable"
+            if isinstance(fn_arg, ast.Lambda):
+                checker = _RegionChecker(module.path, out, context)
+                checker.visit(fn_arg.body)
+            elif isinstance(fn_arg, ast.Name):
+                resolved = graph.resolve_function(fn_arg.id, module)
+                if resolved is not None:
+                    target_module = graph.modules.get(resolved.module)
+                    checker = _RegionChecker(
+                        target_module.path if target_module else module.path,
+                        out,
+                        context,
+                    )
+                    for stmt in resolved.node.body:
+                        checker.visit(stmt)

@@ -1,0 +1,245 @@
+"""spawn-safety: worker-dispatched code must be hermetic and picklable.
+
+``repro.parallel`` ships work to *spawn*-context processes: the child
+interpreter imports the task module fresh, so (a) anything submitted to
+the pool must be picklable by reference (module-level, not a lambda or
+closure), and (b) the task body must not depend on ambient module state
+mutated in the parent — the child simply won't have it, and worse, state
+mutated *in a worker* leaks between the unrelated tasks that worker
+executes next (docs/parallel.md's hermeticity contract).
+
+Checked facts:
+
+* every function registered in a ``TASK_KINDS`` dict resolves to a
+  module-level ``def`` (lambdas and nested functions are findings);
+* task functions do not read module-level mutable containers outside the
+  allowlist (the registry dict itself), and do not write module globals
+  (``global X``) — either way a worker's second task would observe the
+  first task's leftovers;
+* ``pool.submit(fn, ...)`` call sites never pass a lambda or a function
+  nested in the enclosing scope.
+
+Suppress with ``# repro: allow(spawn-safety)`` where a module-level
+cache is deliberate and process-local (document why at the pragma).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.contracts.graph import ModuleGraph, ModuleInfo
+from repro.analysis.lint import Violation
+
+__all__ = ["SpawnSafetyPass"]
+
+RULE = "spawn-safety"
+
+#: registry dict names whose values are worker-dispatched callables.
+_REGISTRY_NAMES = {"TASK_KINDS"}
+
+#: module-level mutables task code may read (the registries themselves —
+#: populated at import time in every process, never mutated after).
+_ALLOWED_GLOBALS = {"TASK_KINDS", "_TOPOLOGY_BUILDERS"}
+
+
+def _violation(path: str, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        rule=RULE,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+class SpawnSafetyPass:
+    name = RULE
+    summary = "worker-dispatched code with ambient or unpicklable state"
+
+    def check(self, graph: ModuleGraph) -> list[Violation]:
+        out: list[Violation] = []
+        for module in sorted(graph.modules.values(), key=lambda m: m.path):
+            self._check_registries(module, graph, out)
+            self._check_submit_sites(module, out)
+        return out
+
+    # -- registry-driven dispatch ---------------------------------------
+    def _check_registries(
+        self, module: ModuleInfo, graph: ModuleGraph, out: list[Violation]
+    ) -> None:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            names = {t.id for t in targets if isinstance(t, ast.Name)}
+            if not (names & _REGISTRY_NAMES):
+                continue
+            value = stmt.value
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, entry in zip(value.keys, value.values):
+                kind = (
+                    repr(key.value)
+                    if isinstance(key, ast.Constant)
+                    else "<dynamic>"
+                )
+                self._check_entry(module, graph, kind, entry, out)
+
+    def _check_entry(
+        self,
+        module: ModuleInfo,
+        graph: ModuleGraph,
+        kind: str,
+        entry: ast.expr,
+        out: list[Violation],
+    ) -> None:
+        if isinstance(entry, ast.Lambda):
+            out.append(
+                _violation(
+                    module.path,
+                    entry,
+                    f"task kind {kind} is a lambda; spawn workers can only "
+                    "import module-level functions by reference",
+                )
+            )
+            return
+        if not isinstance(entry, ast.Name):
+            return  # attribute references etc. — out of scope
+        fn = graph.resolve_function(entry.id, module)
+        if fn is None:
+            # Defined somewhere we cannot see as module-level — if the name
+            # is bound by a nested def in this module, that's a finding.
+            if self._is_nested_def(module, entry.id):
+                out.append(
+                    _violation(
+                        module.path,
+                        entry,
+                        f"task kind {kind} references `{entry.id}`, a nested "
+                        "function; spawn pickling needs a module-level def",
+                    )
+                )
+            return
+        self._check_task_body(graph, kind, fn, out)
+
+    @staticmethod
+    def _is_nested_def(module: ModuleInfo, name: str) -> bool:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if (
+                        inner is not node
+                        and isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and inner.name == name
+                    ):
+                        return True
+        return False
+
+    def _check_task_body(
+        self, graph: ModuleGraph, kind: str, fn, out: list[Violation]
+    ) -> None:
+        defining = graph.modules.get(fn.module)
+        if defining is None:
+            return
+        mutable = {
+            name: line
+            for name, line in defining.mutable_globals.items()
+            if name not in _ALLOWED_GLOBALS
+        }
+        global_names = defining.global_writes - _ALLOWED_GLOBALS
+        local_names = self._local_bindings(fn.node)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    out.append(
+                        _violation(
+                            defining.path,
+                            node,
+                            f"task kind {kind} ({fn.name}) writes module "
+                            f"global `{name}`; worker state leaks across "
+                            "tasks sharing the process",
+                        )
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in local_names:
+                    continue
+                if node.id in mutable:
+                    out.append(
+                        _violation(
+                            defining.path,
+                            node,
+                            f"task kind {kind} ({fn.name}) reads module-level "
+                            f"mutable `{node.id}` (defined at line "
+                            f"{mutable[node.id]}); pass state through task "
+                            "params instead",
+                        )
+                    )
+                elif node.id in global_names:
+                    out.append(
+                        _violation(
+                            defining.path,
+                            node,
+                            f"task kind {kind} ({fn.name}) reads `{node.id}`, "
+                            "which is written through `global` elsewhere in "
+                            "the module; ambient state is not spawn-safe",
+                        )
+                    )
+        # Sub-checks are shallow by design: helpers the task calls are
+        # themselves module-level functions reachable by this same pass
+        # when registered, and the runtime digests cover the rest.
+
+    @staticmethod
+    def _local_bindings(node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and isinstance(
+                inner.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(inner.id)
+            elif isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(inner.name)
+                for a in [
+                    *inner.args.posonlyargs,
+                    *inner.args.args,
+                    *inner.args.kwonlyargs,
+                ]:
+                    names.add(a.arg)
+                if inner.args.vararg:
+                    names.add(inner.args.vararg.arg)
+                if inner.args.kwarg:
+                    names.add(inner.args.kwarg.arg)
+            elif isinstance(inner, ast.ExceptHandler) and inner.name:
+                names.add(inner.name)
+        return names
+
+    # -- pool.submit call sites -----------------------------------------
+    def _check_submit_sites(self, module: ModuleInfo, out: list[Violation]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+                continue
+            receiver = func.value
+            receiver_name = (
+                receiver.id
+                if isinstance(receiver, ast.Name)
+                else receiver.attr
+                if isinstance(receiver, ast.Attribute)
+                else None
+            )
+            if receiver_name is None or not any(
+                hint in receiver_name.lower() for hint in ("pool", "executor")
+            ):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                out.append(
+                    _violation(
+                        module.path,
+                        target,
+                        "lambda submitted to a worker pool; spawn pickling "
+                        "needs a module-level function",
+                    )
+                )

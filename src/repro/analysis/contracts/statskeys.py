@@ -1,0 +1,307 @@
+"""frozen-stats-keys: policy stats() key sets are append-only.
+
+Replay metric digests (:mod:`repro.analysis.replay`) hash the metrics
+dict of every run; ``PolicyRun.to_dict`` and the parallel result cache
+serialize ``stats()`` verbatim.  Removing or renaming a ``stats()`` key
+therefore breaks replay digests, invalidates every cached sweep cell's
+comparability, and silently changes report columns.  The contract:
+**key sets may grow, never shrink**, versus a committed manifest
+(``stats_manifest.json``).
+
+The pass evaluates each ``stats()`` method *symbolically* — dict
+literals, ``out = super().stats()`` chains, ``out["k"] = v`` stores,
+``out.update({...})`` and ``out.update(self.helper())`` merges — and
+compares the resulting key set per class against the manifest:
+
+* a manifest key the method no longer produces → violation (the freeze);
+* a produced key missing from the manifest → violation prompting a
+  deliberate, reviewed manifest append (``check --update-manifest``);
+* a manifest class that disappeared → violation.
+
+Methods using dynamic keys (f-strings, ``**expr`` of unknown shape) are
+recorded as ``dynamic`` and exempted from key comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.contracts.graph import ClassInfo, ModuleGraph
+from repro.analysis.lint import Violation
+
+__all__ = ["FrozenStatsKeysPass", "extract_stats_keys", "build_manifest"]
+
+RULE = "frozen-stats-keys"
+MANIFEST_VERSION = 1
+
+#: method name whose return-dict keys are frozen.
+_STATS_METHOD = "stats"
+
+
+class _KeySet:
+    """Key-set lattice element: a set of keys plus a dynamic flag."""
+
+    def __init__(self) -> None:
+        self.keys: set[str] = set()
+        self.dynamic = False
+
+    def merge(self, other: "_KeySet") -> None:
+        self.keys |= other.keys
+        self.dynamic = self.dynamic or other.dynamic
+
+
+def _keys_of_dict_literal(node: ast.Dict, result: _KeySet) -> None:
+    for key in node.keys:
+        if key is None:
+            # ``{**expr}`` — unknown shape.
+            result.dynamic = True
+        elif isinstance(key, ast.Constant) and isinstance(key.value, str):
+            result.keys.add(key.value)
+        else:
+            result.dynamic = True
+
+
+def _method_chain(cls: ClassInfo, graph: ModuleGraph) -> list[ClassInfo]:
+    """cls plus its resolvable bases, nearest first."""
+    chain = [cls]
+    bases, _ = graph.base_classes(cls)
+    chain.extend(bases)
+    return chain
+
+
+def extract_stats_keys(
+    cls: ClassInfo, graph: ModuleGraph, method: str = _STATS_METHOD
+) -> Optional[_KeySet]:
+    """Symbolically evaluate ``cls.<method>()``'s returned dict keys.
+
+    Returns None when the class (and its bases) do not define the method.
+    """
+    fn = graph.resolve_method(cls, method)
+    if fn is None:
+        return None
+    result = _KeySet()
+    #: local var name -> keys accumulated into it.
+    vars_: dict[str, _KeySet] = {}
+
+    def eval_expr(node: ast.expr) -> _KeySet:
+        ks = _KeySet()
+        if isinstance(node, ast.Dict):
+            _keys_of_dict_literal(node, ks)
+            return ks
+        if isinstance(node, ast.Call):
+            func = node.func
+            # dict(a=1, b=2)
+            if isinstance(func, ast.Name) and func.id == "dict":
+                if node.args:
+                    ks.dynamic = True
+                for kw in node.keywords:
+                    if kw.arg is None:
+                        ks.dynamic = True
+                    else:
+                        ks.keys.add(kw.arg)
+                return ks
+            # super().stats() / super().m()
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+            ):
+                module = graph.modules.get(cls.module)
+                parent: Optional[ClassInfo] = None
+                if module is not None:
+                    for base in cls.bases:
+                        parent = graph.resolve_class(base, module)
+                        if parent is not None:
+                            break
+                if parent is None:
+                    ks.dynamic = True
+                    return ks
+                inner = extract_stats_keys(parent, graph, func.attr)
+                if inner is None:
+                    ks.dynamic = True
+                    return ks
+                return inner
+            # self.helper()
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                inner = extract_stats_keys(cls, graph, func.attr)
+                if inner is None:
+                    ks.dynamic = True
+                    return ks
+                return inner
+            ks.dynamic = True
+            return ks
+        if isinstance(node, ast.Name):
+            known = vars_.get(node.id)
+            if known is not None:
+                out = _KeySet()
+                out.merge(known)
+                return out
+            ks.dynamic = True
+            return ks
+        ks.dynamic = True
+        return ks
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            result.merge(eval_expr(node.value))
+        elif isinstance(node, ast.Assign):
+            value_keys = eval_expr(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    fresh = _KeySet()
+                    fresh.merge(value_keys)
+                    vars_[target.id] = fresh
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in vars_
+                ):
+                    key = target.slice
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        vars_[target.value.id].keys.add(key.value)
+                    else:
+                        vars_[target.value.id].dynamic = True
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "update"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in vars_
+            ):
+                if call.args:
+                    vars_[func.value.id].merge(eval_expr(call.args[0]))
+                for kw in call.keywords:
+                    if kw.arg is None:
+                        vars_[func.value.id].dynamic = True
+                    else:
+                        vars_[func.value.id].keys.add(kw.arg)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def _stats_classes(graph: ModuleGraph) -> dict[str, ClassInfo]:
+    """Classes that *define* a stats() method directly (not inherited)."""
+    return {
+        cls.qualname: cls
+        for cls in graph.classes.values()
+        if _STATS_METHOD in cls.methods
+    }
+
+
+def build_manifest(graph: ModuleGraph) -> dict:
+    """Manifest document for the current tree's stats() key sets."""
+    classes: dict[str, dict] = {}
+    for qualname, cls in sorted(_stats_classes(graph).items()):
+        ks = extract_stats_keys(cls, graph)
+        if ks is None:
+            continue
+        classes[qualname] = {
+            "keys": sorted(ks.keys),
+            "dynamic": ks.dynamic,
+        }
+    return {"version": MANIFEST_VERSION, "classes": classes}
+
+
+class FrozenStatsKeysPass:
+    name = RULE
+    summary = "stats() keys removed or uncommitted versus the manifest"
+
+    def __init__(self, manifest_path: Optional[str | Path] = None) -> None:
+        self.manifest_path = manifest_path
+
+    def check(self, graph: ModuleGraph) -> list[Violation]:
+        if self.manifest_path is None or not Path(self.manifest_path).exists():
+            return []  # no committed manifest: nothing is frozen yet
+        manifest = json.loads(Path(self.manifest_path).read_text(encoding="utf-8"))
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported stats manifest version {manifest.get('version')!r}"
+            )
+        committed: dict[str, dict] = manifest.get("classes", {})
+        out: list[Violation] = []
+        current = _stats_classes(graph)
+
+        for qualname, entry in sorted(committed.items()):
+            cls = current.get(qualname)
+            if cls is None:
+                out.append(
+                    Violation(
+                        rule=RULE,
+                        path=str(self.manifest_path),
+                        line=1,
+                        col=0,
+                        message=(
+                            f"manifest class {qualname} no longer defines "
+                            "stats(); removing a stats surface breaks replay "
+                            "digests and cached sweep comparability"
+                        ),
+                    )
+                )
+                continue
+            ks = extract_stats_keys(cls, graph)
+            if ks is None or ks.dynamic or entry.get("dynamic"):
+                continue  # dynamic key sets are exempt from the freeze
+            have = set(ks.keys)
+            frozen = set(entry.get("keys", []))
+            method = cls.methods[_STATS_METHOD]
+            for missing in sorted(frozen - have):
+                out.append(
+                    Violation(
+                        rule=RULE,
+                        path=graph.modules[cls.module].path,
+                        line=method.lineno,
+                        col=0,
+                        message=(
+                            f"{cls.name}.stats() dropped committed key "
+                            f"'{missing}'; stats key sets are append-only"
+                        ),
+                    )
+                )
+            for added in sorted(have - frozen):
+                out.append(
+                    Violation(
+                        rule=RULE,
+                        path=graph.modules[cls.module].path,
+                        line=method.lineno,
+                        col=0,
+                        message=(
+                            f"{cls.name}.stats() adds key '{added}' not in "
+                            "the committed manifest; append it via "
+                            "`python -m repro.analysis check --update-manifest`"
+                        ),
+                    )
+                )
+
+        for qualname, cls in sorted(current.items()):
+            if qualname in committed:
+                continue
+            ks = extract_stats_keys(cls, graph)
+            if ks is None:
+                continue
+            method = cls.methods[_STATS_METHOD]
+            out.append(
+                Violation(
+                    rule=RULE,
+                    path=graph.modules[cls.module].path,
+                    line=method.lineno,
+                    col=0,
+                    message=(
+                        f"{cls.name}.stats() is not in the committed manifest; "
+                        "register it via `python -m repro.analysis check "
+                        "--update-manifest`"
+                    ),
+                )
+            )
+        return out

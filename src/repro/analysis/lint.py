@@ -47,8 +47,11 @@ from typing import Iterable, Optional, Sequence
 __all__ = [
     "ALL_RULES",
     "Violation",
+    "allowed_rules",
     "lint_source",
+    "lint_source_tracked",
     "lint_file",
+    "lint_file_tracked",
     "lint_paths",
     "main",
 ]
@@ -130,16 +133,42 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _allowed_rules(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule names suppressed on that line."""
+def allowed_rules(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule names suppressed on that line.
+
+    Shared by the per-file lints, the contract passes
+    (:mod:`repro.analysis.contracts`), and the unused-suppression audit
+    (:func:`repro.analysis.reporting.audit_pragmas`) — one pragma syntax,
+    one parser.  Only genuine ``#`` comment tokens count: a pragma-shaped
+    string inside a docstring documents the syntax, it doesn't invoke it.
+    """
+    import io
+    import tokenize
+
     allowed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
+
+    def add(lineno: int, text: str) -> None:
+        match = _ALLOW_RE.search(text)
         if match:
             rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
             if rules:
-                allowed[lineno] = rules
+                allowed.setdefault(lineno, set()).update(rules)
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                add(token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable tail (rare; lint will surface the SyntaxError) —
+        # fall back to the line-based scan so pragmas still work.
+        allowed.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            add(lineno, line)
     return allowed
+
+
+#: backwards-compatible private alias (pre-contracts name).
+_allowed_rules = allowed_rules
 
 
 class _Rule:
@@ -545,28 +574,50 @@ ALL_RULES: dict[str, _Rule] = {
 # ----------------------------------------------------------------------
 # Drivers
 # ----------------------------------------------------------------------
+def lint_source_tracked(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> tuple[list[Violation], list[Violation]]:
+    """Lint one module; returns ``(unsuppressed, pragma-suppressed)``.
+
+    The suppressed list is what the unused-suppression audit consumes: a
+    pragma that appears in no suppressed violation is stale.
+    """
+    tree = ast.parse(source, filename=path)
+    allowed = allowed_rules(source)
+    selected = [ALL_RULES[name] for name in (rules or ALL_RULES)]
+    violations: list[Violation] = []
+    suppressed: list[Violation] = []
+    for rule in selected:
+        for violation in rule.check(tree, path):
+            if violation.rule in allowed.get(violation.line, set()):
+                suppressed.append(violation)
+            else:
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, suppressed
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Iterable[str]] = None,
 ) -> list[Violation]:
     """Lint one module's source; returns unsuppressed violations."""
-    tree = ast.parse(source, filename=path)
-    allowed = _allowed_rules(source)
-    selected = [ALL_RULES[name] for name in (rules or ALL_RULES)]
-    violations: list[Violation] = []
-    for rule in selected:
-        for violation in rule.check(tree, path):
-            if violation.rule in allowed.get(violation.line, set()):
-                continue
-            violations.append(violation)
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return violations
+    return lint_source_tracked(source, path=path, rules=rules)[0]
+
+
+def lint_file_tracked(
+    path: str, rules: Optional[Iterable[str]] = None
+) -> tuple[list[Violation], list[Violation]]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source_tracked(source, path=str(path), rules=rules)
 
 
 def lint_file(path: str, rules: Optional[Iterable[str]] = None) -> list[Violation]:
-    source = Path(path).read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), rules=rules)
+    return lint_file_tracked(path, rules=rules)[0]
 
 
 def _python_files(paths: Sequence[str]) -> list[Path]:
@@ -597,15 +648,52 @@ def lint_paths(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI: ``python -m repro.analysis [paths...] [--json] [--rule NAME]``."""
+    """CLI: ``python -m repro.analysis [paths...] [--format F] [--rule NAME]
+    [--baseline FILE] [--prune-pragmas]``."""
     import argparse
+
+    from repro.analysis.reporting import (
+        Baseline,
+        audit_pragmas,
+        render_json,
+        render_sarif,
+        render_text,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Determinism lints for the PR-DRB simulator.",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
-    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
+    parser.add_argument("--out", help="write the report to this file instead of stdout")
+    parser.add_argument(
+        "--baseline",
+        help="ratchet baseline JSON; findings it covers don't fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--prune-pragmas",
+        action="store_true",
+        help=(
+            "audit `# repro: allow(...)` pragmas across lint AND contract "
+            "rules; list the stale ones and exit 1 when any exist"
+        ),
+    )
     parser.add_argument(
         "--rule",
         action="append",
@@ -623,6 +711,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name}: {ALL_RULES[name].summary}")
         return 0
 
+    if args.prune_pragmas:
+        try:
+            stale = audit_pragmas(args.paths or ["src"])
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for pragma in stale:
+            print(pragma.render())
+        label = "stale pragma" if len(stale) == 1 else "stale pragmas"
+        print(f"{len(stale)} {label}")
+        return 1 if stale else 0
+
     try:
         files = _python_files(args.paths or ["src"])
     except FileNotFoundError as exc:
@@ -630,19 +730,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     violations = [v for file in files for v in lint_file(str(file), rules=args.rule_names)]
     files_checked = len(files)
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "files_checked": files_checked,
-                    "violations": [v.to_dict() for v in violations],
-                },
-                indent=2,
-            )
-        )
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        Baseline.from_violations(violations).save(args.baseline)
+        print(f"wrote {args.baseline} ({len(violations)} findings ratcheted)")
+        return 0
+
+    failing = violations
+    absorbed = 0
+    if args.baseline:
+        try:
+            delta = Baseline.load(args.baseline).compare(violations)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        failing = delta.new
+        absorbed = delta.suppressed
+
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "sarif":
+        catalogue = {name: rule.summary for name, rule in ALL_RULES.items()}
+        rendered = render_sarif(failing, catalogue)
+    elif fmt == "json":
+        rendered = render_json(failing, files_checked)
     else:
-        for violation in violations:
-            print(violation.render())
-        label = "violation" if len(violations) == 1 else "violations"
-        print(f"{len(violations)} {label} in {files_checked} files")
-    return 1 if violations else 0
+        rendered = render_text(failing, files_checked)
+        if absorbed:
+            rendered += f"\n{absorbed} finding(s) absorbed by baseline {args.baseline}"
+
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 1 if failing else 0

@@ -1,0 +1,744 @@
+"""Fixture-driven tests for the cross-module contract analyzer.
+
+Each pass gets a seeded-violation fixture package (written into
+``tmp_path``) plus a clean counterpart; the meta-test at the bottom runs
+the full analyzer over ``src/repro`` and asserts it matches the
+committed ratchet baseline exactly.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.contracts import (
+    PASS_CATALOGUE,
+    ModuleGraph,
+    analyze_paths,
+    build_manifest,
+    extract_stats_keys,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_pkg(tmp_path, sources, pkg="pkg"):
+    """Write ``{relpath: source}`` as a package under tmp_path; return root."""
+    root = tmp_path / "fixture"
+    (root / pkg).mkdir(parents=True)
+    (root / pkg / "__init__.py").write_text("")
+    for rel, src in sources.items():
+        target = root / pkg / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if target.parent != root / pkg and not (target.parent / "__init__.py").exists():
+            (target.parent / "__init__.py").write_text("")
+        target.write_text(textwrap.dedent(src))
+    return root
+
+
+def findings(tmp_path, sources, passes=None, manifest=None):
+    root = write_pkg(tmp_path, sources)
+    report = analyze_paths([str(root)], passes=passes, manifest_path=manifest)
+    return report.findings
+
+
+def rules_hit(tmp_path, sources, passes=None, manifest=None):
+    return {v.rule for v in findings(tmp_path, sources, passes, manifest)}
+
+
+# ----------------------------------------------------------------------
+# Module graph
+# ----------------------------------------------------------------------
+def test_graph_module_names_follow_packages(tmp_path):
+    root = write_pkg(tmp_path, {"mod.py": "x = 1\n", "sub/inner.py": "y = 2\n"})
+    graph = ModuleGraph.from_paths([str(root)])
+    assert "pkg.mod" in graph.modules
+    assert "pkg.sub.inner" in graph.modules
+    assert "pkg" in graph.modules  # the __init__ itself
+
+
+def test_graph_resolves_imported_class(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "a.py": """
+                class Packet:
+                    __slots__ = ("src",)
+                """,
+            "b.py": """
+                from pkg.a import Packet
+
+                def use():
+                    return Packet
+                """,
+        },
+    )
+    graph = ModuleGraph.from_paths([str(root)])
+    module_b = graph.modules["pkg.b"]
+    resolved = graph.resolve_class("Packet", module_b)
+    assert resolved is not None
+    assert resolved.qualname == "pkg.a.Packet"
+
+
+def test_graph_allowed_attributes_walks_slotted_bases(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "m.py": """
+                class Base:
+                    __slots__ = ("a",)
+
+                class Child(Base):
+                    __slots__ = ("b",)
+                """,
+        },
+    )
+    graph = ModuleGraph.from_paths([str(root)])
+    child = graph.classes["pkg.m.Child"]
+    allowed, _ = graph.allowed_attributes(child)
+    assert allowed is not None
+    assert {"a", "b"} <= allowed
+
+
+def test_graph_open_base_disables_slots_checking(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "m.py": """
+                class Open:
+                    pass
+
+                class Child(Open):
+                    __slots__ = ("b",)
+                """,
+        },
+    )
+    graph = ModuleGraph.from_paths([str(root)])
+    child = graph.classes["pkg.m.Child"]
+    allowed, reason = graph.allowed_attributes(child)
+    assert allowed is None
+    assert reason
+
+
+# ----------------------------------------------------------------------
+# digest-purity
+# ----------------------------------------------------------------------
+def test_purity_flags_state_write_in_tracer_guard(tmp_path):
+    assert "digest-purity" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def handle(self, pkt):
+                        if self.tracer is not None:
+                            self.queue.append(pkt)
+                """,
+        },
+    )
+
+
+def test_purity_flags_schedule_in_tracer_guard(tmp_path):
+    assert "digest-purity" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def handle(self, pkt):
+                        if self.tracer is not None:
+                            self.sim.schedule(1, self.on_fire)
+                """,
+        },
+    )
+
+
+def test_purity_allows_emit_and_locals_in_guard(tmp_path):
+    assert "digest-purity" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def handle(self, pkt):
+                        if self.tracer is not None:
+                            payload = {"dst": pkt.dst}
+                            self.tracer.emit("hop", payload)
+                """,
+        },
+    )
+
+
+def test_purity_checks_obs_module_writes_to_foreign_objects(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {"obs/sink.py": """
+            def attach(fabric, tracer):
+                fabric.mode = "traced"
+            """},
+    )
+    report = analyze_paths([str(root)], passes=["digest-purity"])
+    assert {v.rule for v in report.findings} == {"digest-purity"}
+
+
+def test_purity_allows_tracer_attribute_install_in_obs(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {"obs/sink.py": """
+            def attach(fabric, tracer):
+                fabric.tracer = tracer
+            """},
+    )
+    report = analyze_paths([str(root)], passes=["digest-purity"])
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# spawn-safety
+# ----------------------------------------------------------------------
+def test_spawnsafe_flags_lambda_task_kind(tmp_path):
+    assert "spawn-safety" in rules_hit(
+        tmp_path,
+        {"m.py": 'TASK_KINDS = {"t": lambda spec: spec}\n'},
+    )
+
+
+def test_spawnsafe_flags_module_mutable_read(tmp_path):
+    assert "spawn-safety" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                _CACHE = {}
+
+                def run(spec):
+                    return _CACHE.get(spec["k"])
+
+                TASK_KINDS = {"t": run}
+                """,
+        },
+    )
+
+
+def test_spawnsafe_flags_global_write_in_task(tmp_path):
+    assert "spawn-safety" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                _COUNT = 0
+
+                def run(spec):
+                    global _COUNT
+                    _COUNT += 1
+                    return spec
+
+                TASK_KINDS = {"t": run}
+                """,
+        },
+    )
+
+
+def test_spawnsafe_clean_module_level_task_passes(tmp_path):
+    assert "spawn-safety" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def run(spec):
+                    total = sum(spec["values"])
+                    return {"total": total}
+
+                TASK_KINDS = {"t": run}
+                """,
+        },
+    )
+
+
+def test_spawnsafe_flags_lambda_submitted_to_pool(tmp_path):
+    assert "spawn-safety" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def drive(pool, specs):
+                    return [pool.submit(lambda s: s, s) for s in specs]
+                """,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# slots-consistency
+# ----------------------------------------------------------------------
+SLOTTED = """
+    class Packet:
+        __slots__ = ("src", "dst")
+
+        def __init__(self, src, dst):
+            self.src = src
+            self.dst = dst
+"""
+
+
+def test_slots_flags_undeclared_self_attribute(tmp_path):
+    assert "slots-consistency" in rules_hit(
+        tmp_path,
+        {"m.py": SLOTTED + "            self.hops = 0\n"},
+    )
+
+
+def test_slots_flags_constructor_bound_local_write(tmp_path):
+    assert "slots-consistency" in rules_hit(
+        tmp_path,
+        {
+            "m.py": SLOTTED
+            + """
+
+    def use():
+        p = Packet(1, 2)
+        p.extra = 3
+                """,
+        },
+    )
+
+
+def test_slots_flags_annotated_parameter_write_cross_module(tmp_path):
+    assert "slots-consistency" in rules_hit(
+        tmp_path,
+        {
+            "a.py": SLOTTED,
+            "b.py": """
+                from pkg.a import Packet
+
+                def stamp(pkt: Packet):
+                    pkt.route_tag = 7
+                """,
+        },
+    )
+
+
+def test_slots_allows_declared_and_inherited_attributes(tmp_path):
+    assert "slots-consistency" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Base:
+                    __slots__ = ("a",)
+
+                class Child(Base):
+                    __slots__ = ("b",)
+
+                    def __init__(self):
+                        self.a = 1
+                        self.b = 2
+                """,
+        },
+    )
+
+
+def test_slots_reassigned_local_is_not_bound(tmp_path):
+    # `p` is stored twice — its type is ambiguous, so no finding.
+    assert "slots-consistency" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": SLOTTED
+            + """
+
+    def use(other):
+        p = Packet(1, 2)
+        p = other
+        p.extra = 3
+                """,
+        },
+    )
+
+
+def test_slots_dataclass_slots_fields_are_declared(tmp_path):
+    assert "slots-consistency" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                from dataclasses import dataclass
+
+                @dataclass(slots=True)
+                class Port:
+                    width: int
+                    depth: int = 4
+
+                    def grow(self):
+                        self.depth += 1
+                """,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# scheduler-callback
+# ----------------------------------------------------------------------
+def test_callbacks_flags_excess_packed_args(tmp_path):
+    assert "scheduler-callback" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def kick(self, pkt):
+                        self.sim.schedule(1, self.on_fire, pkt, 1, 2)
+
+                    def on_fire(self, pkt):
+                        return pkt
+                """,
+        },
+    )
+
+
+def test_callbacks_flags_missing_required_args(tmp_path):
+    assert "scheduler-callback" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def kick(self):
+                        self.sim.schedule_at(5.0, self.on_fire)
+
+                    def on_fire(self, pkt, port):
+                        return pkt, port
+                """,
+        },
+    )
+
+
+def test_callbacks_accepts_matching_arity_and_defaults(tmp_path):
+    assert "scheduler-callback" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def kick(self, pkt):
+                        self.sim.schedule(1, self.on_fire, pkt)
+                        self.sim.schedule(2, self.on_idle)
+
+                    def on_fire(self, pkt, priority=0):
+                        return pkt, priority
+
+                    def on_idle(self):
+                        return None
+                """,
+        },
+    )
+
+
+def test_callbacks_flags_required_keyword_only_callback(tmp_path):
+    hit = findings(
+        tmp_path,
+        {
+            "m.py": """
+                class Router:
+                    def kick(self, pkt):
+                        self.sim.schedule(1, self.on_fire, pkt)
+
+                    def on_fire(self, pkt, *, port):
+                        return pkt, port
+                """,
+        },
+        passes=["scheduler-callback"],
+    )
+    assert len(hit) == 1
+    assert "keyword-only" in hit[0].message
+
+
+def test_callbacks_resolves_module_level_function(tmp_path):
+    assert "scheduler-callback" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def on_tick(count):
+                    return count
+
+                def drive(sim):
+                    sim.schedule(1, on_tick)
+                """,
+        },
+    )
+
+
+def test_callbacks_checks_inline_lambda(tmp_path):
+    assert "scheduler-callback" in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def drive(sim):
+                    sim.schedule(1, lambda a, b: a + b, 1)
+                """,
+        },
+    )
+
+
+def test_callbacks_skips_unresolvable_and_starred(tmp_path):
+    assert "scheduler-callback" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def drive(sim, fn, args):
+                    sim.schedule(1, fn, 1, 2, 3)
+                    sim.schedule(1, print, *args)
+                """,
+        },
+    )
+
+
+def test_callbacks_vararg_callee_accepts_any_packing(tmp_path):
+    assert "scheduler-callback" not in rules_hit(
+        tmp_path,
+        {
+            "m.py": """
+                def on_any(*args):
+                    return args
+
+                def drive(sim):
+                    sim.schedule(1, on_any, 1, 2, 3, 4)
+                """,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# frozen-stats-keys
+# ----------------------------------------------------------------------
+STATS_PKG = {
+    "pol.py": """
+        class Base:
+            def stats(self):
+                return {"delivered": 1, "dropped": 2}
+
+        class Derived(Base):
+            def stats(self):
+                out = super().stats()
+                out["misrouted"] = 0
+                out.update(self.extra_stats())
+                return out
+
+            def extra_stats(self):
+                return {"replays": 0}
+        """,
+}
+
+
+def test_stats_extraction_follows_super_and_helper_chains(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    graph = ModuleGraph.from_paths([str(root)])
+    keys = extract_stats_keys(graph.classes["pkg.pol.Derived"], graph)
+    assert keys is not None and not keys.dynamic
+    assert keys.keys == {"delivered", "dropped", "misrouted", "replays"}
+
+
+def test_stats_manifest_roundtrip_is_clean(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    graph = ModuleGraph.from_paths([str(root)])
+    manifest = tmp_path / "man.json"
+    manifest.write_text(json.dumps(build_manifest(graph)))
+    report = analyze_paths(
+        [str(root)], passes=["frozen-stats-keys"], manifest_path=manifest
+    )
+    assert report.findings == []
+
+
+def test_stats_dropped_key_is_flagged_in_subclasses_too(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    graph = ModuleGraph.from_paths([str(root)])
+    manifest = tmp_path / "man.json"
+    manifest.write_text(json.dumps(build_manifest(graph)))
+    # Rename a Base key: both Base and Derived drop it.
+    (root / "pkg" / "pol.py").write_text(
+        (root / "pkg" / "pol.py").read_text().replace('"dropped"', '"discarded"')
+    )
+    report = analyze_paths(
+        [str(root)], passes=["frozen-stats-keys"], manifest_path=manifest
+    )
+    dropped = [v for v in report.findings if "dropped committed key" in v.message]
+    assert {v.message.split(".stats()")[0] for v in dropped} == {"Base", "Derived"}
+
+
+def test_stats_added_key_prompts_manifest_update(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    graph = ModuleGraph.from_paths([str(root)])
+    manifest = tmp_path / "man.json"
+    manifest.write_text(json.dumps(build_manifest(graph)))
+    (root / "pkg" / "pol.py").write_text(
+        (root / "pkg" / "pol.py").read_text().replace(
+            '"replays": 0', '"replays": 0, "reuses": 0'
+        )
+    )
+    report = analyze_paths(
+        [str(root)], passes=["frozen-stats-keys"], manifest_path=manifest
+    )
+    assert any("adds key 'reuses'" in v.message for v in report.findings)
+
+
+def test_stats_no_manifest_means_no_findings(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    report = analyze_paths([str(root)], passes=["frozen-stats-keys"])
+    assert report.findings == []
+
+
+def test_stats_dynamic_keys_are_exempt(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "m.py": """
+                class Dyn:
+                    def stats(self):
+                        return {f"vc{i}": i for i in range(4)}
+                """,
+        },
+    )
+    graph = ModuleGraph.from_paths([str(root)])
+    manifest = tmp_path / "man.json"
+    manifest.write_text(json.dumps(build_manifest(graph)))
+    report = analyze_paths(
+        [str(root)], passes=["frozen-stats-keys"], manifest_path=manifest
+    )
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# pragmas & pass selection
+# ----------------------------------------------------------------------
+def test_contract_finding_suppressed_by_pragma(tmp_path):
+    sources = {
+        "m.py": """
+            class Packet:
+                __slots__ = ("src",)
+
+                def __init__(self, src):
+                    self.src = src
+                    self.debug_tag = None  # repro: allow(slots-consistency)
+            """,
+    }
+    root = write_pkg(tmp_path, sources)
+    report = analyze_paths([str(root)])
+    assert report.findings == []
+    assert [v.rule for v in report.suppressed] == ["slots-consistency"]
+
+
+def test_pass_selection_runs_only_requested_pass(tmp_path):
+    sources = {
+        "m.py": """
+            class Packet:
+                __slots__ = ()
+
+                def __init__(self):
+                    self.x = 1
+
+            TASK_KINDS = {"t": lambda s: s}
+            """,
+    }
+    root = write_pkg(tmp_path, sources)
+    only = analyze_paths([str(root)], passes=["spawn-safety"])
+    assert {v.rule for v in only.findings} == {"spawn-safety"}
+
+
+def test_unknown_pass_name_raises(tmp_path):
+    root = write_pkg(tmp_path, {"m.py": "x = 1\n"})
+    with pytest.raises(ValueError, match="unknown contract pass"):
+        analyze_paths([str(root)], passes=["no-such-pass"])
+
+
+# ----------------------------------------------------------------------
+# CLI (python -m repro.analysis check)
+# ----------------------------------------------------------------------
+def run_cli(args, cwd):
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "check", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def test_cli_exit_one_on_seeded_violation(tmp_path):
+    root = write_pkg(tmp_path, {"m.py": 'TASK_KINDS = {"t": lambda s: s}\n'})
+    proc = run_cli([str(root)], cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "spawn-safety" in proc.stdout
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path):
+    root = write_pkg(tmp_path, {"m.py": "x = 1\n"})
+    proc = run_cli([str(root)], cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_sarif_output_is_valid_and_complete(tmp_path):
+    root = write_pkg(tmp_path, {"m.py": 'TASK_KINDS = {"t": lambda s: s}\n'})
+    proc = run_cli([str(root), "--format", "sarif"], cwd=tmp_path)
+    assert proc.returncode == 1
+    document = json.loads(proc.stdout)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(PASS_CATALOGUE)
+    assert run["results"][0]["ruleId"] == "spawn-safety"
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] >= 1
+
+
+def test_cli_baseline_absorbs_known_findings(tmp_path):
+    root = write_pkg(tmp_path, {"m.py": 'TASK_KINDS = {"t": lambda s: s}\n'})
+    baseline = tmp_path / "base.json"
+    update = run_cli(
+        [str(root), "--update-baseline", "--baseline", str(baseline)], cwd=tmp_path
+    )
+    assert update.returncode == 0
+    absorbed = run_cli([str(root), "--baseline", str(baseline)], cwd=tmp_path)
+    assert absorbed.returncode == 0, absorbed.stdout
+    # A *new* finding still fails.
+    (root / "pkg" / "m.py").write_text(
+        'TASK_KINDS = {"t": lambda s: s, "u": lambda s: s}\n'
+    )
+    failing = run_cli([str(root), "--baseline", str(baseline)], cwd=tmp_path)
+    assert failing.returncode == 1
+
+
+def test_cli_update_manifest_writes_stats_keys(tmp_path):
+    root = write_pkg(tmp_path, STATS_PKG)
+    manifest = tmp_path / "man.json"
+    proc = run_cli(
+        [str(root), "--update-manifest", "--manifest", str(manifest)], cwd=tmp_path
+    )
+    assert proc.returncode == 0
+    document = json.loads(manifest.read_text())
+    assert set(document["classes"]) == {"pkg.pol.Base", "pkg.pol.Derived"}
+
+
+def test_cli_list_passes(tmp_path):
+    proc = run_cli(["--list-passes"], cwd=tmp_path)
+    assert proc.returncode == 0
+    for name in PASS_CATALOGUE:
+        assert name in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Meta: the real tree matches the committed baseline exactly
+# ----------------------------------------------------------------------
+def test_repo_tree_matches_committed_baseline():
+    from repro.analysis.reporting import Baseline
+
+    report = analyze_paths(
+        [str(REPO_ROOT / "src" / "repro")],
+        manifest_path=REPO_ROOT / "stats_manifest.json",
+    )
+    baseline = Baseline.load(REPO_ROOT / "analysis_baseline.json")
+    delta = baseline.compare(report.findings)
+    assert delta.new == [], "\n".join(v.render() for v in delta.new)
+    assert delta.stale == [], (
+        "baseline contains entries the tree no longer produces; "
+        "run `python -m repro.analysis check --update-baseline`"
+    )
+
+
+def test_repo_stats_manifest_matches_tree():
+    graph = ModuleGraph.from_paths([str(REPO_ROOT / "src" / "repro")])
+    current = build_manifest(graph)
+    committed = json.loads((REPO_ROOT / "stats_manifest.json").read_text())
+    assert current == committed, (
+        "stats_manifest.json is out of date; run "
+        "`python -m repro.analysis check --update-manifest`"
+    )
