@@ -1,0 +1,227 @@
+"""snapshot-coverage: every Snapshottable attribute is declared.
+
+The checkpoint protocol (:mod:`repro.checkpoint.state`) serializes
+exactly the attributes a class declares in ``_snapshot_fields_`` /
+``_snapshot_exclude_``.  That makes coverage an *opt-in* property: a
+developer who adds ``self.new_counter = 0`` to a Snapshottable class
+without growing its declarations ships a class whose checkpoints
+silently drop the new state — a resumed run then diverges from an
+uninterrupted one, which is exactly the failure the checkpoint digests
+exist to rule out.  This pass closes that gap statically, per class:
+
+* every attribute the class *introduces* — its own ``__slots__`` names,
+  its dataclass fields, and every ``self.x = ...`` in its own methods —
+  must appear in the effective (MRO-union) ``_snapshot_fields_`` or
+  ``_snapshot_exclude_`` sets;
+* every name a class itself declares must correspond to an attribute
+  assigned somewhere on the class or its bases (stale declarations rot
+  into restore-time ``SnapshotError``);
+* the declarations themselves must be literal tuples of strings — a
+  computed declaration cannot be audited, here or in review.
+
+Classes reachable from ``Snapshottable`` through the resolved base
+graph are checked; the protocol class itself is exempt.  Suppress a
+deliberately transient attribute with
+``# repro: allow(snapshot-coverage)`` on the class line — though
+``_snapshot_exclude_`` states the same intent in a way restore code can
+act on, so prefer it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.contracts.graph import ClassInfo, ModuleGraph
+from repro.analysis.lint import Violation
+
+__all__ = ["SnapshotCoveragePass"]
+
+RULE = "snapshot-coverage"
+
+_ROOT = "Snapshottable"
+_FIELDS = "_snapshot_fields_"
+_EXCLUDE = "_snapshot_exclude_"
+
+#: protocol machinery living on the class, never instance state.
+_META_ATTRS = {_FIELDS, _EXCLUDE, "_snapshot_version_", "__slots__"}
+
+
+def _violation(path: str, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        rule=RULE,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _tuple_literal(value: ast.expr) -> Optional[tuple[str, ...]]:
+    """Names from a literal tuple/list of strings, else None."""
+    if isinstance(value, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None
+        return tuple(names)
+    return None
+
+
+def _declaration(cls: ClassInfo, name: str):
+    """(names, node) for ``name`` in the class body; (None, None) when
+    absent, (None, node) when present but not a literal string tuple."""
+    for stmt in cls.node.body:
+        target: Optional[str] = None
+        value: Optional[ast.expr] = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            target, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            target, value = stmt.target.id, stmt.value
+        if target != name or value is None:
+            continue
+        return _tuple_literal(value), stmt
+    return None, None
+
+
+def _self_stores(cls: ClassInfo) -> dict[str, ast.AST]:
+    """Attribute name -> first ``self.x = ...`` site in ``cls``'s methods."""
+    out: dict[str, ast.AST] = {}
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for attr in _flatten(target):
+                    if (
+                        isinstance(attr.value, ast.Name)
+                        and attr.value.id == "self"
+                        and not attr.attr.startswith("__")
+                        and attr.attr not in out
+                    ):
+                        out[attr.attr] = node
+    return out
+
+
+def _flatten(target: ast.expr) -> list[ast.Attribute]:
+    if isinstance(target, ast.Attribute):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[ast.Attribute] = []
+        for element in target.elts:
+            out.extend(_flatten(element))
+        return out
+    return []
+
+
+def _is_dataclass(cls: ClassInfo) -> bool:
+    for decorator in cls.node.decorator_list:
+        node = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _introduced(cls: ClassInfo) -> dict[str, ast.AST]:
+    """Instance attributes ``cls`` itself introduces -> anchor node.
+
+    Annotated class-body names count only on dataclasses — on a plain
+    class, ``name: str = "abstract"`` is a class-level default, not
+    instance state.
+    """
+    out: dict[str, ast.AST] = dict(_self_stores(cls))
+    if _is_dataclass(cls):
+        for name in cls.fields:
+            out.setdefault(name, cls.node)
+    for name in cls.slots or ():
+        out.setdefault(name, cls.node)
+    for name in sorted(_META_ATTRS):
+        out.pop(name, None)
+    return out
+
+
+class SnapshotCoveragePass:
+    name = RULE
+    summary = "Snapshottable attributes missing from _snapshot_fields_/_snapshot_exclude_"
+
+    def check(self, graph: ModuleGraph) -> list[Violation]:
+        out: list[Violation] = []
+        for cls in sorted(graph.classes.values(), key=lambda c: c.qualname):
+            if cls.name == _ROOT:
+                continue
+            bases, unresolved = graph.base_classes(cls)
+            rooted = any(b.name == _ROOT for b in bases) or any(
+                u.split(".")[-1] == _ROOT for u in unresolved
+            )
+            if not rooted:
+                continue
+            module = graph.modules.get(cls.module)
+            if module is None:
+                continue
+            self._check_class(module.path, cls, bases, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self,
+        path: str,
+        cls: ClassInfo,
+        bases: list[ClassInfo],
+        out: list[Violation],
+    ) -> None:
+        chain = [cls] + [b for b in bases if b.name != _ROOT]
+        coverage: set[str] = set()
+        for link in chain:
+            for attr_name in (_FIELDS, _EXCLUDE):
+                names, node = _declaration(link, attr_name)
+                if node is not None and names is None:
+                    if link is cls:
+                        out.append(_violation(
+                            path, node,
+                            f"{cls.name}.{attr_name} must be a literal tuple "
+                            "of attribute-name strings so coverage can be "
+                            "audited statically",
+                        ))
+                    continue
+                coverage.update(names or ())
+
+        # Every introduced attribute needs coverage — shadowing a
+        # class-level default per-instance included, because a restored
+        # instance would silently fall back to the class default.
+        introduced = _introduced(cls)
+        class_level = set(cls.class_attrs)
+        for name, node in sorted(introduced.items()):
+            if name in coverage:
+                continue
+            out.append(_violation(
+                path, node,
+                f"`{cls.name}.{name}` is assigned but not covered by "
+                f"{_FIELDS}/{_EXCLUDE} — checkpoints of this class would "
+                "silently drop it (docs/checkpoint.md)",
+            ))
+
+        # Stale declarations: names this class declares that nothing in
+        # the class or its resolved bases ever assigns.
+        known: set[str] = set(introduced) | class_level | set(cls.fields)
+        for base in chain[1:]:
+            known |= set(_introduced(base)) | set(base.class_attrs) | set(base.fields)
+        for attr_name in (_FIELDS, _EXCLUDE):
+            names, node = _declaration(cls, attr_name)
+            for name in names or ():
+                if name not in known:
+                    out.append(_violation(
+                        path, node,
+                        f"`{name}` is declared in {cls.name}.{attr_name} "
+                        "but never assigned on the class or its bases "
+                        "(stale declaration breaks restore)",
+                    ))

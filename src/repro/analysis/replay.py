@@ -25,13 +25,18 @@ import hashlib
 import json
 import struct
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import ClassVar, Optional, Sequence
+
+from repro.checkpoint.state import Snapshottable
 
 __all__ = [
     "RunDigest",
     "ReplayReport",
     "EventTraceDigest",
+    "ScenarioContext",
+    "build_scenario",
     "digest_metrics",
+    "finish_scenario",
     "run_scenario",
     "check_determinism",
     "main",
@@ -81,12 +86,30 @@ class ReplayReport:
         }
 
 
-class EventTraceDigest:
-    """Streaming SHA-256 over the executed event sequence."""
+#: events per chain fold; boundaries depend only on the event *count*,
+#: so an interrupted-and-resumed run folds at the same points as an
+#: uninterrupted one and the digests stay bit-identical.
+_DIGEST_BLOCK_EVENTS = 4096
+
+
+class EventTraceDigest(Snapshottable):
+    """Block-chained SHA-256 over the executed event sequence.
+
+    Event records accumulate in a byte buffer; every
+    :data:`_DIGEST_BLOCK_EVENTS` events the buffer is folded into a
+    running 32-byte chain value (``chain = sha256(chain + block)``).  The
+    final digest is ``sha256(chain + tail)``.  Unlike a streaming
+    ``hashlib`` object, the ``(chain, buffer, events)`` triple is plain
+    picklable state, so a checkpoint can carry the digest mid-run and a
+    restored process continues it exactly (docs/checkpoint.md).
+    """
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = ("events", "_chain", "_buffer")
 
     def __init__(self) -> None:
-        self._sha = hashlib.sha256()
         self.events = 0
+        self._chain = b""
+        self._buffer = bytearray()
 
     def install(self, sim) -> "EventTraceDigest":
         sim.add_observer(self.update)
@@ -96,13 +119,15 @@ class EventTraceDigest:
         self.events += 1
         fn = event.fn
         label = getattr(fn, "__qualname__", repr(fn))
-        self._sha.update(
-            struct.pack("<dii", event.time, event.priority, event.sequence)
-        )
-        self._sha.update(label.encode("utf-8"))
+        buffer = self._buffer
+        buffer += struct.pack("<dii", event.time, event.priority, event.sequence)
+        buffer += label.encode("utf-8")
+        if self.events % _DIGEST_BLOCK_EVENTS == 0:
+            self._chain = hashlib.sha256(self._chain + buffer).digest()
+            del buffer[:]
 
     def hexdigest(self) -> str:
-        return self._sha.hexdigest()
+        return hashlib.sha256(self._chain + bytes(self._buffer)).hexdigest()
 
 
 def digest_metrics(fabric, recorder, policy) -> str:
@@ -148,7 +173,70 @@ def digest_metrics(fabric, recorder, policy) -> str:
     return sha.hexdigest()
 
 
-def run_scenario(
+@dataclass
+class ScenarioContext:
+    """A fully built replay scenario: workload started, clock not yet run.
+
+    ``run_scenario`` is ``build_scenario`` → ``sim.run(until)`` →
+    ``finish_scenario``; the split exists so :mod:`repro.checkpoint` can
+    stop anywhere in the middle, snapshot the live graph, and a restored
+    process can finish the run and produce the same :class:`RunDigest`.
+    """
+
+    seed: int
+    policy: str
+    mesh_side: int
+    repetitions: int
+    until: float
+    sim: object
+    streams: object
+    trace: EventTraceDigest
+    recorder: object
+    policy_obj: object
+    fabric: object
+    workload: object
+    invariants: object = None
+
+    def checkpoint_roots(self) -> dict:
+        """The named object-graph roots a checkpoint payload carries."""
+        return {
+            "kind": "replay",
+            "params": {
+                "seed": self.seed,
+                "policy": self.policy,
+                "mesh_side": self.mesh_side,
+                "repetitions": self.repetitions,
+            },
+            "until": self.until,
+            "sim": self.sim,
+            "streams": self.streams,
+            "trace": self.trace,
+            "recorder": self.recorder,
+            "policy_obj": self.policy_obj,
+            "fabric": self.fabric,
+            "workload": self.workload,
+        }
+
+    @classmethod
+    def from_checkpoint_roots(cls, roots: dict) -> "ScenarioContext":
+        params = roots["params"]
+        return cls(
+            seed=int(params["seed"]),
+            policy=str(params["policy"]),
+            mesh_side=int(params["mesh_side"]),
+            repetitions=int(params["repetitions"]),
+            until=float(roots["until"]),
+            sim=roots["sim"],
+            streams=roots["streams"],
+            trace=roots["trace"],
+            recorder=roots["recorder"],
+            policy_obj=roots["policy_obj"],
+            fabric=roots["fabric"],
+            workload=roots["workload"],
+        )
+
+
+def build_scenario(
     seed: int = 0,
     policy: str = "pr-drb",
     mesh_side: int = 4,
@@ -157,18 +245,12 @@ def run_scenario(
     tracer=None,
     metrics=None,
     metrics_cadence_s: float | None = None,
-) -> RunDigest:
-    """One complete small-mesh hot-spot run, fully seeded, digested.
+) -> ScenarioContext:
+    """Construct (but do not run) the seeded small-mesh hot-spot scenario.
 
-    A ``mesh_side`` x ``mesh_side`` mesh carries three colliding flows plus
-    uniform background noise through repeated bursts — small enough for a
-    sub-second run, busy enough to exercise ACK notification, metapath
-    expansion and (for ``pr-drb``) solution save/replay.
-
-    ``tracer``/``metrics`` install :mod:`repro.obs` observation on the
-    run.  Observation never perturbs behavior, so the returned digests
-    are identical with or without it — ``repro.obs selftest`` checks
-    exactly that through this entry point.
+    Construction order is load-bearing: the initial event schedule and
+    RNG stream creation must match the historical ``run_scenario`` body
+    exactly, or the event digests shift.
     """
     from repro.metrics.recorder import StatsRecorder
     from repro.network.config import NetworkConfig
@@ -228,17 +310,71 @@ def run_scenario(
         idle_rate_bps=2e8,
     )
     workload.start()
-    sim.run(until=stop + 4e-4)
-    if invariants is not None:
-        invariants.check()
-    return RunDigest(
+    return ScenarioContext(
         seed=seed,
         policy=policy,
-        events=trace.hexdigest(),
-        metrics=digest_metrics(fabric, recorder, policy_obj),
-        events_executed=sim.events_executed,
-        packets_delivered=fabric.data_packets_delivered,
+        mesh_side=mesh_side,
+        repetitions=repetitions,
+        until=stop + 4e-4,
+        sim=sim,
+        streams=streams,
+        trace=trace,
+        recorder=recorder,
+        policy_obj=policy_obj,
+        fabric=fabric,
+        workload=workload,
+        invariants=invariants,
     )
+
+
+def finish_scenario(context: ScenarioContext) -> RunDigest:
+    """Digest a scenario whose clock has reached ``context.until``."""
+    if context.invariants is not None:
+        context.invariants.check()
+    return RunDigest(
+        seed=context.seed,
+        policy=context.policy,
+        events=context.trace.hexdigest(),
+        metrics=digest_metrics(context.fabric, context.recorder, context.policy_obj),
+        events_executed=context.sim.events_executed,
+        packets_delivered=context.fabric.data_packets_delivered,
+    )
+
+
+def run_scenario(
+    seed: int = 0,
+    policy: str = "pr-drb",
+    mesh_side: int = 4,
+    repetitions: int = 3,
+    with_invariants: bool = False,
+    tracer=None,
+    metrics=None,
+    metrics_cadence_s: float | None = None,
+) -> RunDigest:
+    """One complete small-mesh hot-spot run, fully seeded, digested.
+
+    A ``mesh_side`` x ``mesh_side`` mesh carries three colliding flows plus
+    uniform background noise through repeated bursts — small enough for a
+    sub-second run, busy enough to exercise ACK notification, metapath
+    expansion and (for ``pr-drb``) solution save/replay.
+
+    ``tracer``/``metrics`` install :mod:`repro.obs` observation on the
+    run.  Observation never perturbs behavior, so the returned digests
+    are identical with or without it — ``repro.obs selftest`` checks
+    exactly that through this entry point.
+    """
+    context = build_scenario(
+        seed=seed,
+        policy=policy,
+        mesh_side=mesh_side,
+        repetitions=repetitions,
+        with_invariants=with_invariants,
+        tracer=tracer,
+        metrics=metrics,
+        metrics_cadence_s=metrics_cadence_s,
+    )
+    context.sim.run(until=context.until)
+    return finish_scenario(context)
 
 
 def check_determinism(

@@ -1,0 +1,224 @@
+"""Versioned, checksummed on-disk checkpoint envelope.
+
+Layout (one file)::
+
+    RPRCKPT1                         8-byte magic
+    <header-length: 8 ASCII digits>  length of the JSON header in bytes
+    <header: canonical JSON>         format/code versions, digests,
+                                     payload length + SHA-256, metadata
+    <payload: pickle bytes>          the simulation object graph
+
+The header is readable without touching the payload, so ``verify`` and
+``info`` never unpickle anything.  Writes go through
+:func:`repro.util.io.atomic_write_bytes`: a mid-write SIGKILL leaves the
+previous checkpoint intact, never a torn file.  Loads re-hash the
+payload against the header checksum before unpickling, so a corrupt or
+truncated file is detected and reported instead of resurrecting garbage
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.checkpoint.state import SnapshotError
+from repro.util.io import atomic_write_bytes, sha256_hex
+
+__all__ = [
+    "CheckpointCorrupt",
+    "CheckpointHeader",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "find_latest",
+    "read_header",
+    "read_payload",
+    "write_checkpoint",
+]
+
+MAGIC = b"RPRCKPT1"
+#: bump when the envelope layout (not the simulation schema) changes.
+FORMAT_VERSION = 1
+_LEN_DIGITS = 8
+#: pickle protocol for payloads; 5 is available on every supported Python.
+_PICKLE_PROTOCOL = 5
+
+
+class CheckpointCorrupt(SnapshotError):
+    """The file is not a readable, checksum-clean checkpoint."""
+
+
+@dataclass(frozen=True)
+class CheckpointHeader:
+    """Everything ``verify``/``info`` need without unpickling."""
+
+    format_version: int
+    code_version: str
+    kind: str
+    sim_now: float
+    events_executed: int
+    payload_len: int
+    payload_sha256: str
+    meta: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "code_version": self.code_version,
+            "kind": self.kind,
+            "sim_now": self.sim_now,
+            "events_executed": self.events_executed,
+            "payload_len": self.payload_len,
+            "payload_sha256": self.payload_sha256,
+            "meta": self.meta,
+        }
+
+
+def write_checkpoint(
+    path: Union[str, Path],
+    roots: object,
+    *,
+    kind: str,
+    code_version: str,
+    sim_now: float,
+    events_executed: int,
+    meta: Optional[dict] = None,
+) -> CheckpointHeader:
+    """Serialize ``roots`` (one object graph) into an envelope at ``path``."""
+    try:
+        payload = pickle.dumps(roots, protocol=_PICKLE_PROTOCOL)
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(
+            f"checkpoint payload is not picklable: {type(exc).__name__}: {exc}"
+            " (an instrumented run — tracer/metrics installed — cannot be"
+            " checkpointed; record traces or checkpoint, not both)"
+        ) from exc
+    header = CheckpointHeader(
+        format_version=FORMAT_VERSION,
+        code_version=code_version,
+        kind=kind,
+        sim_now=sim_now,
+        events_executed=events_executed,
+        payload_len=len(payload),
+        payload_sha256=sha256_hex(payload),
+        meta=dict(meta or {}),
+    )
+    header_bytes = json.dumps(
+        header.to_dict(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    blob = (
+        MAGIC
+        + f"{len(header_bytes):0{_LEN_DIGITS}d}".encode("ascii")
+        + header_bytes
+        + payload
+    )
+    atomic_write_bytes(path, blob)
+    return header
+
+
+def _split(blob: bytes, path: Path) -> tuple[CheckpointHeader, bytes]:
+    if len(blob) < len(MAGIC) + _LEN_DIGITS or not blob.startswith(MAGIC):
+        raise CheckpointCorrupt(f"{path}: not a repro checkpoint (bad magic)")
+    offset = len(MAGIC)
+    try:
+        header_len = int(blob[offset : offset + _LEN_DIGITS])
+    except ValueError as exc:
+        raise CheckpointCorrupt(f"{path}: unreadable header length") from exc
+    offset += _LEN_DIGITS
+    raw_header = blob[offset : offset + header_len]
+    if len(raw_header) != header_len:
+        raise CheckpointCorrupt(f"{path}: truncated header")
+    try:
+        data = json.loads(raw_header.decode("utf-8"))
+        header = CheckpointHeader(
+            format_version=int(data["format_version"]),
+            code_version=str(data["code_version"]),
+            kind=str(data["kind"]),
+            sim_now=float(data["sim_now"]),
+            events_executed=int(data["events_executed"]),
+            payload_len=int(data["payload_len"]),
+            payload_sha256=str(data["payload_sha256"]),
+            meta=dict(data.get("meta", {})),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CheckpointCorrupt(f"{path}: malformed header: {exc}") from exc
+    if header.format_version != FORMAT_VERSION:
+        raise CheckpointCorrupt(
+            f"{path}: format version {header.format_version} "
+            f"(this code reads {FORMAT_VERSION})"
+        )
+    payload = blob[offset + header_len :]
+    if len(payload) != header.payload_len:
+        raise CheckpointCorrupt(
+            f"{path}: payload truncated "
+            f"({len(payload)} of {header.payload_len} bytes)"
+        )
+    if sha256_hex(payload) != header.payload_sha256:
+        raise CheckpointCorrupt(f"{path}: payload checksum mismatch")
+    return header, payload
+
+
+def read_header(path: Union[str, Path]) -> CheckpointHeader:
+    """Parse and checksum-verify ``path``; never unpickles the payload."""
+    file = Path(path)
+    try:
+        blob = file.read_bytes()
+    except OSError as exc:
+        raise CheckpointCorrupt(f"{file}: unreadable: {exc}") from exc
+    header, _payload = _split(blob, file)
+    return header
+
+
+def read_payload(
+    path: Union[str, Path], *, expect_code_version: Optional[str] = None
+) -> tuple[CheckpointHeader, object]:
+    """Verify then unpickle; refuses cross-code-version restores."""
+    file = Path(path)
+    try:
+        blob = file.read_bytes()
+    except OSError as exc:
+        raise CheckpointCorrupt(f"{file}: unreadable: {exc}") from exc
+    header, payload = _split(blob, file)
+    if expect_code_version is not None and header.code_version != expect_code_version:
+        raise SnapshotError(
+            f"{file}: checkpoint was written by code version "
+            f"{header.code_version}, this tree is {expect_code_version}; "
+            "deterministic resume across code versions is not provable"
+        )
+    try:
+        roots = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointCorrupt(
+            f"{file}: payload unpickling failed: {type(exc).__name__}: {exc}"
+        ) from exc
+    return header, roots
+
+
+def find_latest(
+    paths: list[Union[str, Path]],
+) -> tuple[Optional[Path], list[str]]:
+    """Newest (by ``events_executed``) valid checkpoint among ``paths``.
+
+    Returns ``(path_or_None, problems)`` — corrupt candidates are skipped
+    in favor of older intact ones, each with a human-readable report line.
+    """
+    problems: list[str] = []
+    best: Optional[Path] = None
+    best_events = -1
+    for candidate in paths:
+        file = Path(candidate)
+        if not file.exists():
+            continue
+        try:
+            header = read_header(file)
+        except CheckpointCorrupt as exc:
+            problems.append(str(exc))
+            continue
+        if header.events_executed > best_events:
+            best, best_events = file, header.events_executed
+    return best, problems

@@ -1,0 +1,155 @@
+"""The ``Snapshottable`` protocol: explicit, versioned per-class state.
+
+Every stateful simulation class inherits :class:`Snapshottable` and
+declares, as class attributes:
+
+``_snapshot_fields_``
+    Tuple of the instance attributes **this class itself introduces**
+    that belong in a checkpoint.  Effective coverage is the union over
+    the MRO, so subclasses only list what they add.
+``_snapshot_exclude_``
+    Attributes deliberately *not* checkpointed (observability hooks like
+    ``tracer``); they are reset to ``None`` on restore.
+``_snapshot_version_``
+    Per-class schema version, bumped whenever the field set changes
+    incompatibly.  Restore refuses a mismatched version loudly instead
+    of resurrecting half a state (docs/checkpoint.md).
+
+:meth:`Snapshottable.snapshot_state` materializes the declared fields
+into a plain dict; :meth:`Snapshottable.restore_state` applies one.  The
+class also overrides ``__reduce_ex__`` so **all** pickling of these
+objects flows through the protocol — ``pickle.dumps`` of a live object
+graph (the checkpoint payload) serializes exactly the declared fields,
+never an accidental ``__dict__`` superset, on every supported Python
+version (only *frozen* slots dataclasses grow shadowing
+``__getstate__``/``__setstate__`` pairs, and none of the simulation
+classes are frozen — so the ``__setstate__`` here applies uniformly).
+
+Cycle safety: the reconstructor args carry only the class, and the full
+state dict rides in the *state* slot of the reduce tuple — pickle memoizes
+the new object before pickling its state, so the ubiquitous cycles in a
+live simulation (fabric ↔ sim ↔ events ↔ packets ↔ policy) resolve
+through the memo instead of recursing forever.
+
+The static side of the contract lives in
+:mod:`repro.analysis.contracts.snapshots`: the ``snapshot-coverage``
+pass cross-checks each Snapshottable class's ``__slots__`` ∪ dataclass
+fields ∪ ``self.x`` assignments against its declarations, so adding a
+field without serializing it fails ``python -m repro.analysis check``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+__all__ = [
+    "SnapshotError",
+    "Snapshottable",
+    "snapshot_field_names",
+    "snapshot_excluded_names",
+]
+
+#: key carrying the per-class schema version inside a state dict.
+VERSION_KEY = "__snapshot_version__"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be taken or applied consistently."""
+
+
+def snapshot_field_names(cls: type) -> tuple[str, ...]:
+    """Effective checkpointed fields of ``cls``: MRO union, stable order
+    (base-most first, each name once)."""
+    seen: dict[str, None] = {}
+    for klass in reversed(cls.__mro__):
+        for name in klass.__dict__.get("_snapshot_fields_", ()):
+            seen.setdefault(name, None)
+    return tuple(seen)
+
+
+def snapshot_excluded_names(cls: type) -> tuple[str, ...]:
+    """Effective excluded (reset-on-restore) fields of ``cls``."""
+    seen: dict[str, None] = {}
+    for klass in reversed(cls.__mro__):
+        for name in klass.__dict__.get("_snapshot_exclude_", ()):
+            seen.setdefault(name, None)
+    return tuple(seen)
+
+
+def _new_instance(cls: type) -> Any:
+    """Allocate ``cls`` without running ``__init__`` (restore fills it)."""
+    return object.__new__(cls)
+
+
+class Snapshottable:
+    """Base class wiring explicit snapshot coverage into pickling."""
+
+    __slots__ = ()
+
+    #: attributes introduced by this class that a checkpoint must carry.
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = ()
+    #: attributes deliberately dropped from checkpoints (None on restore).
+    _snapshot_exclude_: ClassVar[tuple[str, ...]] = ()
+    #: per-class schema version (restore refuses mismatches).
+    _snapshot_version_: ClassVar[int] = 1
+
+    def snapshot_state(self) -> dict:
+        """Materialize the declared fields into a plain dict."""
+        cls = type(self)
+        fields = snapshot_field_names(cls)
+        state: dict = {VERSION_KEY: cls._snapshot_version_}
+        for name in fields:
+            try:
+                state[name] = getattr(self, name)
+            except AttributeError as exc:
+                raise SnapshotError(
+                    f"{cls.__qualname__}.{name} is declared in "
+                    f"_snapshot_fields_ but unset on this instance"
+                ) from exc
+        # Dict-backed instances get a runtime coverage check mirroring the
+        # static snapshot-coverage pass: an attribute outside the declared
+        # field/exclude sets means someone grew the class without growing
+        # its checkpoint, and silently dropping it would break resume.
+        instance_dict = getattr(self, "__dict__", None)
+        if instance_dict is not None:
+            stray = set(instance_dict) - set(fields) - set(
+                snapshot_excluded_names(cls)
+            )
+            if stray:
+                raise SnapshotError(
+                    f"{cls.__qualname__} has attribute(s) not covered by "
+                    f"_snapshot_fields_/_snapshot_exclude_: {sorted(stray)}"
+                )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a state dict produced by :meth:`snapshot_state`."""
+        cls = type(self)
+        version = state.get(VERSION_KEY)
+        if version != cls._snapshot_version_:
+            raise SnapshotError(
+                f"{cls.__qualname__} snapshot version mismatch: "
+                f"checkpoint has {version!r}, code expects "
+                f"{cls._snapshot_version_}"
+            )
+        for name in snapshot_field_names(cls):
+            if name not in state:
+                raise SnapshotError(
+                    f"{cls.__qualname__} checkpoint is missing field "
+                    f"{name!r} (truncated or from incompatible code)"
+                )
+            setattr(self, name, state[name])
+        for name in snapshot_excluded_names(cls):
+            setattr(self, name, None)
+
+    def __setstate__(self, state: dict) -> None:
+        # pickle BUILD / copy._reconstruct both route state through here,
+        # so restore-time invariants hold for deepcopy as well.
+        self.restore_state(state)
+
+    def __reduce_ex__(self, protocol: int):
+        # Classic (reconstructor, args, state) triple.  The state dict is
+        # pickled *after* the fresh object is memoized, so cycles through
+        # state resolve via the memo; args must stay cycle-free (they are:
+        # just the class).
+        return _new_instance, (type(self),), self.snapshot_state()

@@ -19,6 +19,9 @@ from repro.network.config import NetworkConfig, ReliabilityConfig
 __all__ = [
     "FaultCampaignSpec",
     "FaultRunResult",
+    "FaultScenarioContext",
+    "build_fault_scenario",
+    "finish_fault_scenario",
     "run_fault_scenario",
     "run_fault_campaign",
     "sweep_ack_loss",
@@ -136,15 +139,81 @@ def _fault_models(spec: FaultCampaignSpec, fabric, schedule):
     return flows, models
 
 
-def run_fault_scenario(
+@dataclass
+class FaultScenarioContext:
+    """A fully built (possibly mid-run) fault scenario.
+
+    Mirrors :class:`repro.analysis.replay.ScenarioContext`: holds every
+    stateful root of a campaign run so the checkpoint layer can snapshot
+    the whole object graph in one pickle image and resume it elsewhere.
+    """
+
+    policy: str
+    spec: FaultCampaignSpec
+    until: float
+    sim: object
+    streams: object
+    trace: object
+    recorder: object
+    policy_obj: object
+    fabric: object
+    workload: object
+    transport: object
+    injector: object
+    invariants: object = None
+
+    def checkpoint_roots(self) -> dict:
+        """Named roots for one-graph snapshotting (shared identities in
+        the returned dict survive a single ``pickle.dumps``)."""
+        return {
+            "kind": "fault",
+            "params": {"policy": self.policy, "spec": self.spec.to_dict()},
+            "until": self.until,
+            "sim": self.sim,
+            "streams": self.streams,
+            "trace": self.trace,
+            "recorder": self.recorder,
+            "policy_obj": self.policy_obj,
+            "fabric": self.fabric,
+            "workload": self.workload,
+            "transport": self.transport,
+            "injector": self.injector,
+        }
+
+    @classmethod
+    def from_checkpoint_roots(cls, roots: dict) -> "FaultScenarioContext":
+        params = roots["params"]
+        spec_data = dict(params["spec"])
+        spec_data["reliability"] = ReliabilityConfig(**spec_data["reliability"])
+        return cls(
+            policy=params["policy"],
+            spec=FaultCampaignSpec(**spec_data),
+            until=roots["until"],
+            sim=roots["sim"],
+            streams=roots["streams"],
+            trace=roots["trace"],
+            recorder=roots["recorder"],
+            policy_obj=roots["policy_obj"],
+            fabric=roots["fabric"],
+            workload=roots["workload"],
+            transport=roots["transport"],
+            injector=roots["injector"],
+        )
+
+
+def build_fault_scenario(
     policy: str = "pr-drb",
     spec: FaultCampaignSpec | None = None,
     with_invariants: bool = False,
-) -> FaultRunResult:
-    """One policy's seeded run under the campaign's fault schedule."""
-    from repro.analysis.replay import EventTraceDigest, digest_metrics
+) -> FaultScenarioContext:
+    """Construct one policy's campaign run without executing it.
+
+    The construction order is load-bearing: every RNG draw and schedule
+    call must happen exactly as the historical ``run_fault_scenario``
+    body did, or the event digests shift.
+    """
+    from repro.analysis.replay import EventTraceDigest
     from repro.faults.injector import FaultInjector
-    from repro.faults.metrics import resilience_report
     from repro.faults.recovery import ReliableTransport
     from repro.metrics.recorder import StatsRecorder
     from repro.network.fabric import Fabric
@@ -201,17 +270,53 @@ def run_fault_scenario(
     # The drain window must outlast the last flap's repair plus the full
     # (capped) backoff ladder, so every pending packet either delivers or
     # is abandoned before the books are read.
-    sim.run(until=stop + 2e-3)
-    if invariants is not None:
-        invariants.check()
-    return FaultRunResult(
+    return FaultScenarioContext(
         policy=policy,
-        seed=spec.seed,
-        events_digest=trace.hexdigest(),
-        metrics_digest=digest_metrics(fabric, recorder, policy_obj),
-        events_executed=sim.events_executed,
-        report=resilience_report(fabric, transport, injector),
+        spec=spec,
+        until=stop + 2e-3,
+        sim=sim,
+        streams=streams,
+        trace=trace,
+        recorder=recorder,
+        policy_obj=policy_obj,
+        fabric=fabric,
+        workload=workload,
+        transport=transport,
+        injector=injector,
+        invariants=invariants,
     )
+
+
+def finish_fault_scenario(context: FaultScenarioContext) -> FaultRunResult:
+    """Digest and report a completed fault scenario."""
+    from repro.analysis.replay import digest_metrics
+    from repro.faults.metrics import resilience_report
+
+    if context.invariants is not None:
+        context.invariants.check()
+    return FaultRunResult(
+        policy=context.policy,
+        seed=context.spec.seed,
+        events_digest=context.trace.hexdigest(),
+        metrics_digest=digest_metrics(
+            context.fabric, context.recorder, context.policy_obj
+        ),
+        events_executed=context.sim.events_executed,
+        report=resilience_report(
+            context.fabric, context.transport, context.injector
+        ),
+    )
+
+
+def run_fault_scenario(
+    policy: str = "pr-drb",
+    spec: FaultCampaignSpec | None = None,
+    with_invariants: bool = False,
+) -> FaultRunResult:
+    """One policy's seeded run under the campaign's fault schedule."""
+    context = build_fault_scenario(policy, spec, with_invariants)
+    context.sim.run(until=context.until)
+    return finish_fault_scenario(context)
 
 
 def _fault_task(policy: str, spec: FaultCampaignSpec):

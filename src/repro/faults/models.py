@@ -117,20 +117,35 @@ class AckLoss:
 
     def apply(self, injector) -> None:
         rng = injector.require_rng("AckLoss")
+        injector.add_packet_filter(_AckLossFilter(self, rng))
 
-        def ack_filter(packet, now):
-            if packet.kind not in (ACK, PREDICTIVE_ACK):
-                return None
-            if not self.start_s <= now < self.end_s:
-                return None
-            draw = rng.random()
-            if draw < self.drop_probability:
-                return ("drop", DROP_ACK_LOSS)
-            if draw < self.drop_probability + self.delay_probability:
-                return ("delay", self.delay_s)
+
+class _AckLossFilter:
+    """Callable filter for :class:`AckLoss`.
+
+    A module-level class (not a closure) so that an armed filter — and the
+    RNG stream position it shares with the injector — pickles into
+    checkpoints and resumes bit-identically.
+    """
+
+    __slots__ = ("model", "rng")
+
+    def __init__(self, model: "AckLoss", rng) -> None:
+        self.model = model
+        self.rng = rng
+
+    def __call__(self, packet, now):
+        model = self.model
+        if packet.kind not in (ACK, PREDICTIVE_ACK):
             return None
-
-        injector.add_packet_filter(ack_filter)
+        if not model.start_s <= now < model.end_s:
+            return None
+        draw = self.rng.random()
+        if draw < model.drop_probability:
+            return ("drop", DROP_ACK_LOSS)
+        if draw < model.drop_probability + model.delay_probability:
+            return ("delay", model.delay_s)
+        return None
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,9 @@ which is what the delivered-under-fault ratio is measured against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import ClassVar, Optional
 
+from repro.checkpoint.state import Snapshottable
 from repro.network.config import ReliabilityConfig
 from repro.network.packet import DATA, Packet
 from repro.sim.engine import Event
@@ -34,8 +35,19 @@ __all__ = ["ReliableTransport"]
 
 
 @dataclass
-class _Pending:
+class _Pending(Snapshottable):
     """Book-keeping for one unacknowledged logical packet."""
+
+    #: ``timer`` is the live heap entry itself — pickling it through the
+    #: same graph as the engine queue preserves the identity, so a
+    #: restored transport can still cancel the restored event.
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "packet",
+        "retries",
+        "timer",
+        "nacks",
+        "sent_at",
+    )
 
     packet: Packet
     retries: int = 0
@@ -44,8 +56,21 @@ class _Pending:
     sent_at: float = field(default=0.0)
 
 
-class ReliableTransport:
+class ReliableTransport(Snapshottable):
     """Per-flow sequencing, retransmission and duplicate bookkeeping."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "fabric",
+        "sim",
+        "config",
+        "_next_seq",
+        "_pending",
+        "logical_packets",
+        "retransmissions",
+        "recovered",
+        "abandoned",
+        "recovery_latencies_s",
+    )
 
     def __init__(self, fabric, config: ReliabilityConfig | None = None) -> None:
         self.fabric = fabric

@@ -12,18 +12,28 @@ Collects what the evaluation chapter plots:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
+from repro.checkpoint.state import Snapshottable
 from repro.metrics.latency import GlobalAverageLatency
 
 
 @dataclass
-class TimeSeries:
+class TimeSeries(Snapshottable):
     """Windowed averages: ``times[i]`` is the window start, ``values[i]``
     the window's mean."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "window_s",
+        "times",
+        "values",
+        "_sum",
+        "_count",
+        "_window_index",
+    )
 
     window_s: float
     times: list[float] = field(default_factory=list)
@@ -79,8 +89,23 @@ class TimeSeries:
         return series
 
 
-class StatsRecorder:
+class StatsRecorder(Snapshottable):
     """Fabric-attached collector of the paper's metrics."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "window_s",
+        "track_router_series",
+        "global_latency",
+        "latency_series",
+        "router_series",
+        "packets_delivered",
+        "packets_injected",
+        "packets_dropped",
+        "drops_by_reason",
+        "latencies",
+        "first_delivery_t",
+        "last_delivery_t",
+    )
 
     def __init__(
         self,
@@ -91,9 +116,9 @@ class StatsRecorder:
         self.track_router_series = track_router_series
         self.global_latency = GlobalAverageLatency()
         self.latency_series = TimeSeries(window_s)
-        self.router_series: dict[int, TimeSeries] = defaultdict(
-            lambda: TimeSeries(self.window_s)
-        )
+        # Plain dict (not a defaultdict) so the recorder pickles without
+        # closure-captured factories; see _on_router_wait.
+        self.router_series: dict[int, TimeSeries] = {}
         self.packets_delivered = 0
         self.packets_injected = 0
         self.packets_dropped = 0
@@ -127,7 +152,10 @@ class StatsRecorder:
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
 
     def _on_router_wait(self, router_id: int, now: float, wait_s: float) -> None:
-        self.router_series[router_id].add(now, wait_s)
+        series = self.router_series.get(router_id)
+        if series is None:
+            series = self.router_series[router_id] = TimeSeries(self.window_s)
+        series.add(now, wait_s)
 
     # ------------------------------------------------------------------
     # Summaries

@@ -18,7 +18,9 @@ then returns a latency-only ACK).
 from __future__ import annotations
 
 import math
+from typing import ClassVar
 
+from repro.checkpoint.state import Snapshottable
 from repro.network.config import NetworkConfig
 from repro.network.nic import ProcessingNode
 from repro.network.packet import (
@@ -58,8 +60,24 @@ class _IdlePort:
 _IDLE = _IdlePort()
 
 
-class Fabric:
+class Fabric(Snapshottable):
     """A complete simulated interconnection network."""
+
+    #: checkpoint coverage (docs/checkpoint.md).  Everything here is
+    #: either plain data, a Snapshottable, or a bound method of one
+    #: (``_schedule_at``/``fault_filter``), so the whole fabric graph
+    #: pickles through the protocol; the tracer is observation-only and
+    #: is dropped on restore.
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "topology", "config", "policy", "sim", "recorder", "notification",
+        "_link_delay_s", "_packet_size", "_onoff", "_per_hop",
+        "_schedule_at", "routers", "_vc", "nodes",
+        "data_packets_injected", "data_packets_delivered",
+        "data_bytes_delivered", "acks_delivered", "predictive_acks_delivered",
+        "failed_links", "degraded_links", "dropped_by_reason",
+        "fault_filter", "transport",
+    )
+    _snapshot_exclude_: ClassVar[tuple[str, ...]] = ("tracer",)
 
     def __init__(
         self,
@@ -316,19 +334,32 @@ class Fabric:
         self.sim.schedule_at(retry, self._arrive, packet)
         return True
 
+    def _vc_served_host(self, pkt: Packet, depart: float) -> None:
+        """VC service completion for a final-hop packet: deliver it.
+
+        A bound method (not a closure) because queued VC entries carry
+        their completion callback and must survive checkpoint pickling.
+        """
+        self.sim.schedule_at(
+            depart + self.config.link_delay_s, self._deliver, pkt
+        )
+
+    def _vc_served_router(self, pkt: Packet, depart: float) -> None:
+        """VC service completion for a transit packet: next router hop."""
+        pkt.hop += 1
+        self.sim.schedule_at(
+            depart + self.link_delay(pkt.path[pkt.hop - 1], pkt.path[pkt.hop]),
+            self._arrive,
+            pkt,
+        )
+
     def _arrive_vc(self, packet: Packet, now: float) -> None:
         """Forward through the round-robin VC arbiter instead of the
         immediate FIFO model (NetworkConfig.virtual_channels >= 2)."""
         router = self.routers[packet.current_router]
         if packet.at_last_router:
             port = router.port_to("host", packet.dst)
-
-            def served_host(pkt: Packet, depart: float) -> None:
-                self.sim.schedule_at(
-                    depart + self.config.link_delay_s, self._deliver, pkt
-                )
-
-            self._vc.submit(router, port, packet, now, served_host)
+            self._vc.submit(router, port, packet, now, self._vc_served_host)
             return
         next_router = packet.path[packet.hop + 1]
         if self.failed_links and not self.link_alive(
@@ -337,16 +368,7 @@ class Fabric:
             self._drop(packet, DROP_LINK_DOWN)
             return
         port = router.port_to("router", next_router)
-
-        def served_router(pkt: Packet, depart: float) -> None:
-            pkt.hop += 1
-            self.sim.schedule_at(
-                depart + self.link_delay(pkt.path[pkt.hop - 1], pkt.path[pkt.hop]),
-                self._arrive,
-                pkt,
-            )
-
-        self._vc.submit(router, port, packet, now, served_router)
+        self._vc.submit(router, port, packet, now, self._vc_served_router)
 
     def _arrive_adaptive(self, packet: Packet, now: float) -> None:
         """Per-hop adaptive forwarding (Fig. 2.5's in-network adaptivity).

@@ -18,15 +18,23 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar
 
+from repro.checkpoint.state import Snapshottable
 from repro.network.packet import Packet
 from repro.network.router import OutputPort, Router
 
 
 @dataclass(slots=True)
-class _PortVCState:
+class _PortVCState(Snapshottable):
     """Arbitration state for one output port."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "queues",
+        "rr_next",
+        "link_free_at",
+        "dispatch_scheduled",
+    )
 
     queues: list[deque] = field(default_factory=list)
     rr_next: int = 0
@@ -37,8 +45,10 @@ class _PortVCState:
         return sum(len(q) for q in self.queues)
 
 
-class VCDispatcher:
+class VCDispatcher(Snapshottable):
     """Round-robin virtual-channel arbiter for every port of a fabric."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = ("fabric", "num_vcs", "_states")
 
     def __init__(self, fabric) -> None:
         self.fabric = fabric

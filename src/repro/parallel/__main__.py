@@ -101,6 +101,7 @@ def _sweep_config(args, cache_dir: Optional[str]) -> SweepConfig:
         cache_dir=cache_dir,
         profile=getattr(args, "profile", False),
         trace=getattr(args, "trace", False),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -184,6 +185,7 @@ def _cmd_status(args) -> int:
         f"last sweep: {len(manifest.get('outcomes', []))} cells, "
         f"{manifest.get('executed', 0)} executed, "
         f"{manifest.get('cache_hits', 0)} cached, "
+        f"{manifest.get('resumed', 0)} resumed, "
         f"{manifest.get('wall_s', 0.0):.2f}s wall, "
         f"workers={manifest.get('workers')}, "
         f"code_version={manifest.get('code_version')}"
@@ -260,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace", action="store_true",
                             help="repro.obs-trace each executed cell into the "
                             "cache dir (<key>.trace.jsonl)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="crash-safe cells: write periodic checkpoints "
+                            "to the cache dir and resume any left by an "
+                            "interrupted sweep (docs/checkpoint.md)")
     run_parser.add_argument("--json", action="store_true")
 
     verify_parser = sub.add_parser(

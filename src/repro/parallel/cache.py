@@ -15,30 +15,37 @@ verifies that checksum on every read: a corrupted or truncated entry is
 *evicted* (unlinked) and reported as a miss, never trusted — the
 orchestrator then simply recomputes the cell.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker can never leave a half-written entry that later reads as valid.
+Writes are atomic (:mod:`repro.util.io`) so a crashed or killed worker
+can never leave a half-written entry that later reads as valid.  The
+manifest additionally goes through an advisory-locked read-modify-write
+merge, so two sweeps sharing one ``REPRO_CACHE_DIR`` union their
+outcome ledgers instead of the last writer clobbering the first.
+
+Interrupted cells may leave a ``<key>.ckpt`` checkpoint next to the
+entry (:mod:`repro.parallel.worker`); :meth:`ResultCache.checkpoint_path_for`
+names it and :meth:`ResultCache.purge` removes it.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.parallel.tasks import SimTask, canonical_json
+from repro.util.io import FileLock, atomic_write_text, sha256_hex
 
 __all__ = ["CacheEntry", "CacheStats", "ResultCache"]
 
 _ENTRY_SUFFIX = ".json"
+_CHECKPOINT_SUFFIX = ".ckpt"
 _MANIFEST_NAME = "manifest.json"
 
 
 def _payload_checksum(task: dict, version: str, result: dict) -> str:
     blob = canonical_json({"task": task, "code_version": version, "result": result})
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return sha256_hex(blob)
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,10 @@ class ResultCache:
     def trace_path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.trace.jsonl"
 
+    def checkpoint_path_for(self, key: str) -> Path:
+        """Where an interrupted worker parks the cell's checkpoint."""
+        return self.root / key[:2] / f"{key}{_CHECKPOINT_SUFFIX}"
+
     @property
     def manifest_path(self) -> Path:
         return self.root / _MANIFEST_NAME
@@ -160,10 +171,7 @@ class ResultCache:
             "checksum": _payload_checksum(task_dict, version, result),
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(canonical_json(entry), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, canonical_json(entry))
         self.stats.writes += 1
         return path
 
@@ -196,8 +204,11 @@ class ResultCache:
         removed = 0
         if not self.root.is_dir():
             return removed
+        suffixes = (
+            _ENTRY_SUFFIX, _CHECKPOINT_SUFFIX, ".prof", ".tmp", ".txt", ".jsonl"
+        )
         for path in sorted(self.root.glob("??/*")):
-            if path.suffix in (_ENTRY_SUFFIX, ".prof", ".tmp", ".txt", ".jsonl"):
+            if path.suffix in suffixes or ".tmp." in path.name:
                 try:
                     path.unlink()
                 except OSError:
@@ -213,10 +224,21 @@ class ResultCache:
 
     # -- manifest -------------------------------------------------------
     def write_manifest(self, manifest: dict) -> Path:
+        """Merge ``manifest`` into the on-disk manifest under a file lock.
+
+        Two orchestrators sharing a cache directory finish at arbitrary
+        times; a plain overwrite would drop whichever sweep landed first.
+        The whole read-merge-write cycle holds an advisory lock
+        (:class:`repro.util.io.FileLock`), so concurrent sweeps union
+        their outcome ledgers — per cell key, the newest result wins.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.manifest_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, self.manifest_path)
+        with FileLock(self.manifest_path):
+            merged = _merge_manifests(self.read_manifest(), manifest)
+            atomic_write_text(
+                self.manifest_path,
+                json.dumps(merged, indent=2, sort_keys=True),
+            )
         return self.manifest_path
 
     def read_manifest(self) -> Optional[dict]:
@@ -224,3 +246,35 @@ class ResultCache:
             return json.loads(self.manifest_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return None
+
+
+def _merge_manifests(existing: Optional[dict], new: dict) -> dict:
+    """Union two sweep manifests; ``new`` wins per cell key.
+
+    Merging only applies when both sides carry an ``outcomes`` ledger —
+    anything else (first write, hand-rolled manifests in tests) passes
+    through untouched.  Stale failure events for cells the new sweep
+    re-ran are dropped along with their superseded outcomes; the
+    aggregate counters are recomputed over the merged ledger so
+    ``status`` reports the union, not the last sweep.
+    """
+    if (
+        not isinstance(existing, dict)
+        or "outcomes" not in existing
+        or "outcomes" not in new
+    ):
+        return new
+    new_keys = {o.get("key") for o in new.get("outcomes", [])}
+    outcomes = [
+        o for o in existing.get("outcomes", []) if o.get("key") not in new_keys
+    ] + list(new.get("outcomes", []))
+    failures = [
+        f for f in existing.get("failures", []) if f.get("key") not in new_keys
+    ] + list(new.get("failures", []))
+    merged = dict(new)
+    merged["outcomes"] = outcomes
+    merged["failures"] = failures
+    merged["executed"] = sum(1 for o in outcomes if o.get("status") == "ok")
+    merged["cache_hits"] = sum(1 for o in outcomes if o.get("status") == "cached")
+    merged["all_ok"] = all(o.get("status") != "failed" for o in outcomes)
+    return merged

@@ -65,6 +65,11 @@ class SweepConfig:
     #: repro.obs-trace each executed cell into the cache directory
     #: (``<key>.trace.jsonl`` next to the entry); needs ``cache_dir``.
     trace: bool = False
+    #: crash-safe cells (docs/checkpoint.md): replay/fault cells write
+    #: periodic checkpoints to ``<key>.ckpt`` in the cache directory and
+    #: resume from any valid checkpoint left by an interrupted sweep.
+    #: Needs ``cache_dir``; profiling/tracing cells stay one-shot.
+    resume: bool = False
     #: pin the code-version token (None = content hash of the package).
     code_version: Optional[str] = None
 
@@ -80,7 +85,7 @@ class FailureRecord:
     kind: str
     label: str
     attempt: int
-    reason: str  # "error" | "worker-crash" | "timeout"
+    reason: str  # "error" | "worker-crash" | "timeout" | "checkpointed"
     error: str
     final: bool
 
@@ -132,6 +137,8 @@ class SweepReport:
     cache_hits: int
     workers: int
     code_version: str
+    #: cells that picked up a checkpoint left by an interrupted run.
+    resumed: int = 0
 
     @property
     def results(self) -> list[Optional[dict]]:
@@ -156,6 +163,7 @@ class SweepReport:
             "cache_hits": self.cache_hits,
             "workers": self.workers,
             "code_version": self.code_version,
+            "resumed": self.resumed,
             "all_ok": self.all_ok,
         }
 
@@ -252,6 +260,27 @@ def run_sweep(
         path.parent.mkdir(parents=True, exist_ok=True)
         return str(path)
 
+    resumed_keys: set[str] = set()
+
+    def checkpoint_path(cell: _Cell) -> Optional[str]:
+        if not config.resume or cache is None:
+            return None
+        path = cache.checkpoint_path_for(cell.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            # An interrupted sweep parked progress here; the worker will
+            # splice onto it instead of starting over.
+            resumed_keys.add(cell.key)
+        return str(path)
+
+    def has_checkpoint(cell: _Cell) -> bool:
+        """True when a crashed/killed cell left progress worth resuming."""
+        return (
+            config.resume
+            and cache is not None
+            and cache.checkpoint_path_for(cell.key).exists()
+        )
+
     def record_success(cell: _Cell, result: dict, wall_s: float) -> None:
         if cache is not None:
             cache.put(cell.key, cell.task, version, result)
@@ -290,13 +319,13 @@ def run_sweep(
 
     if config.workers <= 1:
         _run_inline(
-            pending, config, profile_path, trace_path,
+            pending, config, profile_path, trace_path, checkpoint_path,
             record_success, record_failure,
         )
     else:
         _run_pooled(
-            pending, config, profile_path, trace_path,
-            record_success, record_failure,
+            pending, config, profile_path, trace_path, checkpoint_path,
+            record_success, record_failure, has_checkpoint,
         )
 
     wall_s = time.monotonic() - start  # repro: allow(no-wall-clock)
@@ -309,6 +338,7 @@ def run_sweep(
         cache_hits=sum(1 for o in outcomes.values() if o.status == "cached"),
         workers=config.workers,
         code_version=version,
+        resumed=len(resumed_keys),
     )
     if cache is not None:
         manifest = report.to_dict()
@@ -322,7 +352,8 @@ def run_sweep(
 
 
 def _run_inline(
-    pending, config, profile_path, trace_path, record_success, record_failure
+    pending, config, profile_path, trace_path, checkpoint_path,
+    record_success, record_failure,
 ) -> None:
     """Serial backend: same semantics minus crash isolation/timeouts."""
     queue = list(pending)
@@ -335,6 +366,7 @@ def _run_inline(
                 cell.task,
                 profile_path=profile_path(cell),
                 trace_path=trace_path(cell),
+                checkpoint_path=checkpoint_path(cell),
             )
         except Exception as exc:  # noqa: BLE001 - ledgered, not swallowed
             if record_failure(cell, "error", f"{type(exc).__name__}: {exc}"):
@@ -345,7 +377,8 @@ def _run_inline(
 
 
 def _run_pooled(
-    pending, config, profile_path, trace_path, record_success, record_failure
+    pending, config, profile_path, trace_path, checkpoint_path,
+    record_success, record_failure, has_checkpoint,
 ) -> None:
     """Process-pool backend with timeout / crash supervision."""
     import multiprocessing
@@ -370,6 +403,7 @@ def _run_pooled(
                     future = pool.submit(
                         pool_worker, cell.task.to_dict(),
                         profile_path(cell), trace_path(cell),
+                        checkpoint_path(cell),
                     )
                     in_flight[future] = cell
                 else:
@@ -391,7 +425,17 @@ def _run_pooled(
                     result = future.result()
                 except BrokenProcessPool:
                     broken = True
-                    if record_failure(cell, "worker-crash", "worker process died"):
+                    # A SIGTERM'd resumable worker parks a final snapshot
+                    # before exiting; a checkpoint on disk turns the crash
+                    # into a "checkpointed" disposition — the retry splices
+                    # onto the saved progress instead of starting over.
+                    if has_checkpoint(cell):
+                        reason = "checkpointed"
+                        detail = "worker exited leaving a resumable checkpoint"
+                    else:
+                        reason = "worker-crash"
+                        detail = "worker process died"
+                    if record_failure(cell, reason, detail):
                         cell.not_before = 0.0
                         queue.append(cell)
                 except Exception as exc:  # noqa: BLE001 - ledgered
@@ -431,10 +475,16 @@ def _run_pooled(
                 for cell in survivors:
                     # Collateral of the recycle (crash or timeout kill):
                     # their attempt is charged (we cannot prove innocence
-                    # after a crash), but they requeue immediately.
-                    if record_failure(
-                        cell, "worker-crash", "pool recycled mid-task"
-                    ):
+                    # after a crash), but they requeue immediately.  A
+                    # periodic checkpoint, if one landed, downgrades the
+                    # restart to a resume.
+                    if has_checkpoint(cell):
+                        reason = "checkpointed"
+                        detail = "pool recycled mid-task; checkpoint on disk"
+                    else:
+                        reason = "worker-crash"
+                        detail = "pool recycled mid-task"
+                    if record_failure(cell, reason, detail):
                         cell.not_before = 0.0
                         queue.append(cell)
     finally:

@@ -39,7 +39,9 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Optional
+from typing import Any, Callable, ClassVar, Optional
+
+from repro.checkpoint.state import Snapshottable
 
 #: Signature of :attr:`Simulator.event_hook` observers.
 EventHook = Callable[["Event"], None]
@@ -136,7 +138,7 @@ class Event(list):
         )
 
 
-class Simulator:
+class Simulator(Snapshottable):
     """Event calendar and clock.
 
     Parameters
@@ -144,6 +146,18 @@ class Simulator:
     start_time:
         Initial value of the simulation clock, in seconds.
     """
+
+    #: checkpoint coverage (docs/checkpoint.md): the calendar, freelist
+    #: and sequence counter travel whole so restored heap order, event
+    #: identity (cancel handles!) and FIFO tie-breaks are bit-identical.
+    #: The observer tuple/dispatch ride along — digest observers are
+    #: themselves Snapshottable.  The checkpoint cadence hook is run-local
+    #: wiring and is re-armed by whoever resumes the run.
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "now", "_queue", "_free", "_sequence", "_events_executed",
+        "_running", "_stopped", "_observers", "_dispatch",
+    )
+    _snapshot_exclude_: ClassVar[tuple[str, ...]] = ("_ck_every", "_ck_hook")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = start_time
@@ -164,6 +178,20 @@ class Simulator:
         # :meth:`_dispatch_all`.
         self._observers: tuple[EventHook, ...] = ()
         self._dispatch: Optional[EventHook] = None
+        # Checkpoint cadence (docs/checkpoint.md): every ``_ck_every``
+        # executed events, :meth:`run` calls ``_ck_hook()`` at an event
+        # boundary.  Deliberately *not* a scheduled event — a calendar
+        # entry would consume sequence numbers and perturb the event
+        # digests; the boundary hook is invisible to them.
+        self._ck_every: Optional[int] = None
+        self._ck_hook: Optional[Callable[[], None]] = None
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        # A snapshot taken from inside the cadence hook sees the dispatch
+        # loop live; the restored process starts outside any run() call.
+        state["_running"] = False
+        return state
 
     # ------------------------------------------------------------------
     # Observation
@@ -314,6 +342,34 @@ class Simulator:
         self._free.append(event)
 
     # ------------------------------------------------------------------
+    # Checkpoint cadence
+    # ------------------------------------------------------------------
+    def set_checkpoint_cadence(
+        self,
+        every_events: Optional[int],
+        hook: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Install ``hook`` to run every ``every_events`` executed events.
+
+        The hook fires between event callbacks (never mid-event), with
+        :attr:`events_executed` already flushed, so it sees a globally
+        consistent state to snapshot.  It may call :meth:`stop` to end the
+        run after writing a final checkpoint (the SIGTERM path).  Pass
+        ``None`` to disarm.  :meth:`run` reads the cadence on entry;
+        changing it from inside a callback takes effect on the next run.
+        """
+        if every_events is None or hook is None:
+            self._ck_every = None
+            self._ck_hook = None
+            return
+        if every_events < 1:
+            raise SimulationError(
+                f"checkpoint cadence must be >= 1 event, got {every_events!r}"
+            )
+        self._ck_every = int(every_events)
+        self._ck_hook = hook
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -337,6 +393,14 @@ class Simulator:
         # the ``self.now = until`` assignment under it then never runs.
         bound = math.inf if until is None else until
         limit = math.inf if max_events is None else max_events
+        # Checkpoint cadence: with none armed, ``ck_next`` is infinite and
+        # the per-event cost is a single float compare.  ``flushed`` tracks
+        # how much of ``executed`` has already been folded into
+        # ``_events_executed`` so the hook observes an exact total.
+        ck_hook = self._ck_hook
+        ck_every = self._ck_every
+        ck_next: float = math.inf if (ck_hook is None or ck_every is None) else ck_every
+        flushed = 0
         try:
             while queue:
                 if self._stopped or executed >= limit:
@@ -367,14 +431,20 @@ class Simulator:
                 event[_FN] = _never
                 event[_ARGS] = ()
                 free.append(event)
+                if executed >= ck_next:
+                    ck_next = executed + ck_every  # type: ignore[operator]
+                    self._events_executed += executed - flushed
+                    flushed = executed
+                    ck_hook()  # type: ignore[misc]
             else:
                 if until is not None and self.now < until:
                     self.now = until
         finally:
             self._running = False
-            # Flushed once instead of per event; every reader of
-            # ``events_executed`` observes the total after run() returns.
-            self._events_executed += executed
+            # Flushed once instead of per event (minus what the cadence
+            # hook already folded in); every reader of ``events_executed``
+            # observes the total after run() returns.
+            self._events_executed += executed - flushed
         return executed
 
     def step(self) -> bool:

@@ -1,0 +1,161 @@
+"""Envelope format, corruption detection, and crash-safe I/O primitives.
+
+The envelope's promise is "never resurrect garbage": any torn, flipped,
+truncated, or foreign file must surface as :class:`CheckpointCorrupt`
+before a single payload byte is unpickled, and header inspection
+(``verify``/``info``) must work without unpickling at all.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.checkpoint.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    CheckpointCorrupt,
+    find_latest,
+    read_header,
+    read_payload,
+    write_checkpoint,
+)
+from repro.checkpoint.state import SnapshotError
+from repro.util.io import FileLock, atomic_write_bytes, atomic_write_text, sha256_hex
+
+
+def write_sample(path, *, roots=None, events=7, code_version="1.2.3"):
+    return write_checkpoint(
+        path,
+        roots if roots is not None else {"kind": "replay", "payload": list(range(10))},
+        kind="replay",
+        code_version=code_version,
+        sim_now=0.5,
+        events_executed=events,
+        meta={"label": "sample"},
+    )
+
+
+def test_roundtrip_header_and_payload(tmp_path):
+    path = tmp_path / "a.ckpt"
+    written = write_sample(path)
+    header = read_header(path)
+    assert header == written
+    assert header.format_version == FORMAT_VERSION
+    assert header.events_executed == 7
+    loaded_header, roots = read_payload(path)
+    assert loaded_header == header
+    assert roots["payload"] == list(range(10))
+
+
+def test_header_readable_without_unpicklable_payload(tmp_path):
+    """info/verify never unpickle: a poisoned payload must not matter."""
+    payload = b"this is not a pickle"
+    header = {
+        "format_version": FORMAT_VERSION,
+        "code_version": "1.2.3",
+        "kind": "replay",
+        "sim_now": 0.0,
+        "events_executed": 0,
+        "payload_len": len(payload),
+        "payload_sha256": sha256_hex(payload),
+        "meta": {},
+    }
+    raw = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    path = tmp_path / "poisoned.ckpt"
+    path.write_bytes(MAGIC + f"{len(raw):08d}".encode() + raw + payload)
+    assert read_header(path).kind == "replay"  # header side is fine
+    with pytest.raises(CheckpointCorrupt, match="unpickling failed"):
+        read_payload(path)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    path.write_bytes(b"NOTACKPT" + b"x" * 64)
+    with pytest.raises(CheckpointCorrupt, match="bad magic"):
+        read_header(path)
+
+
+def test_truncated_payload_rejected(tmp_path):
+    path = tmp_path / "a.ckpt"
+    write_sample(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-5])
+    with pytest.raises(CheckpointCorrupt, match="truncated"):
+        read_header(path)
+
+
+def test_flipped_payload_byte_rejected(tmp_path):
+    path = tmp_path / "a.ckpt"
+    write_sample(path)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointCorrupt, match="checksum mismatch"):
+        read_header(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(CheckpointCorrupt, match="unreadable"):
+        read_header(tmp_path / "absent.ckpt")
+
+
+def test_cross_code_version_restore_refused(tmp_path):
+    path = tmp_path / "a.ckpt"
+    write_sample(path, code_version="0.9.0")
+    with pytest.raises(SnapshotError, match="code version"):
+        read_payload(path, expect_code_version="1.0.0")
+    # Explicit opt-out reads it anyway.
+    _header, roots = read_payload(path, expect_code_version=None)
+    assert roots["kind"] == "replay"
+
+
+def test_find_latest_prefers_most_advanced_and_skips_corrupt(tmp_path):
+    old = tmp_path / "old.ckpt"
+    new = tmp_path / "new.ckpt"
+    corrupt = tmp_path / "corrupt.ckpt"
+    write_sample(old, events=10)
+    write_sample(new, events=20)
+    write_sample(corrupt, events=99)
+    corrupt.write_bytes(corrupt.read_bytes()[:-3])
+    best, problems = find_latest([old, new, corrupt, tmp_path / "absent.ckpt"])
+    assert best == new
+    assert len(problems) == 1 and "truncated" in problems[0]
+
+
+def test_find_latest_with_nothing_valid(tmp_path):
+    assert find_latest([tmp_path / "nope.ckpt"]) == (None, [])
+
+
+# ----------------------------------------------------------------------
+# repro.util.io
+# ----------------------------------------------------------------------
+def test_atomic_write_replaces_and_leaves_no_tmp(tmp_path):
+    target = tmp_path / "deep" / "file.json"
+    atomic_write_text(target, "first")
+    atomic_write_bytes(target, b"second")
+    assert target.read_text() == "second"
+    assert [p.name for p in target.parent.iterdir()] == ["file.json"]
+
+
+def test_sha256_hex_str_bytes_agree():
+    assert sha256_hex("abc") == sha256_hex(b"abc")
+    assert len(sha256_hex(b"")) == 64
+
+
+def test_file_lock_serializes_read_modify_write(tmp_path):
+    target = tmp_path / "counter.txt"
+    atomic_write_text(target, "0")
+
+    def bump():
+        for _ in range(50):
+            with FileLock(target):
+                value = int(target.read_text())
+                atomic_write_text(target, str(value + 1))
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert target.read_text() == "200"

@@ -1,0 +1,288 @@
+"""Snapshottable protocol + property-based round-trip tests.
+
+The invariant every stateful class must satisfy is *snapshot
+idempotency*: ``pickle(restore(pickle(x)))`` is byte-identical to
+``pickle(x)``, and the restored object behaves identically from that
+point on.  Hypothesis drives randomized mutation sequences against the
+classes with the trickiest internal state — RNG streams, the event heap
+(cancelled and freelisted entries included), the Metapath memo caches,
+and the PR-DRB solution database.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint.state import (
+    SnapshotError,
+    Snapshottable,
+    snapshot_excluded_names,
+    snapshot_field_names,
+)
+from repro.core.metapath import Metapath
+from repro.core.solutions import SolutionDatabase
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.rng import RandomStreams
+
+
+def roundtrip(obj):
+    """pickle -> restore -> pickle; assert byte-identity, return restored."""
+    blob = pickle.dumps(obj, protocol=5)
+    restored = pickle.loads(blob)
+    assert pickle.dumps(restored, protocol=5) == blob
+    return restored
+
+
+# ----------------------------------------------------------------------
+# Protocol mechanics
+# ----------------------------------------------------------------------
+class Base(Snapshottable):
+    __slots__ = ("a", "tracer")
+    _snapshot_fields_ = ("a",)
+    _snapshot_exclude_ = ("tracer",)
+
+    def __init__(self):
+        self.a = 1
+        self.tracer = object()
+
+
+class Child(Base):
+    __slots__ = ("b",)
+    _snapshot_fields_ = ("b",)
+
+    def __init__(self):
+        super().__init__()
+        self.b = 2
+
+
+def test_effective_fields_are_mro_union():
+    assert snapshot_field_names(Child) == ("a", "b")
+    assert snapshot_excluded_names(Child) == ("tracer",)
+
+
+def test_excluded_fields_reset_to_none_on_restore():
+    restored = pickle.loads(pickle.dumps(Child()))
+    assert (restored.a, restored.b) == (1, 2)
+    assert restored.tracer is None
+
+
+def test_unset_declared_field_raises():
+    broken = object.__new__(Child)
+    broken.a = 1  # b never assigned
+    with pytest.raises(SnapshotError, match="Child.b"):
+        broken.snapshot_state()
+
+
+def test_version_mismatch_refused():
+    state = Child().snapshot_state()
+    state["__snapshot_version__"] = 99
+    with pytest.raises(SnapshotError, match="version mismatch"):
+        object.__new__(Child).restore_state(state)
+
+
+def test_missing_field_refused():
+    state = Child().snapshot_state()
+    del state["b"]
+    with pytest.raises(SnapshotError, match="missing field"):
+        object.__new__(Child).restore_state(state)
+
+
+def test_stray_dict_attribute_detected():
+    class DictBacked(Snapshottable):
+        _snapshot_fields_ = ("x",)
+
+        def __init__(self):
+            self.x = 1
+
+    ok = DictBacked()
+    ok.snapshot_state()
+    ok.undeclared = 2
+    with pytest.raises(SnapshotError, match="undeclared"):
+        ok.snapshot_state()
+
+
+class Node(Snapshottable):
+    """Module-level so pickle can find it (cycle-safety fixture)."""
+
+    __slots__ = ("peer",)
+    _snapshot_fields_ = ("peer",)
+
+
+def test_cyclic_graph_roundtrips():
+    left, right = object.__new__(Node), object.__new__(Node)
+    left.peer, right.peer = right, left
+    restored = roundtrip(left)
+    assert restored.peer.peer is restored
+
+
+# ----------------------------------------------------------------------
+# RNG streams
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    draws=st.lists(
+        st.tuples(st.sampled_from(["traffic", "faults", "jitter"]), st.integers(1, 20)),
+        max_size=8,
+    ),
+)
+def test_random_streams_roundtrip(seed, draws):
+    streams = RandomStreams(seed)
+    for name, count in draws:
+        streams.stream(name).random(count)
+    restored = roundtrip(streams)
+    # Future draws from every touched stream must continue identically.
+    for name, _ in draws:
+        assert (
+            restored.stream(name).random(5).tolist()
+            == streams.stream(name).random(5).tolist()
+        )
+
+
+def _noop(*_args):
+    """Module-level so heap entries pickle."""
+
+
+# ----------------------------------------------------------------------
+# Event heap: pending, cancelled, and freelisted entries
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("schedule"), st.floats(0.0, 10.0), st.integers(-2, 2)),
+            st.tuples(st.just("cancel"), st.integers(0, 30)),
+            st.tuples(st.just("run"), st.integers(1, 10)),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_event_heap_roundtrip(ops):
+    sim = Simulator()
+    scheduled = []
+    for op in ops:
+        if op[0] == "schedule":
+            scheduled.append(sim.schedule(op[1], _noop, len(scheduled), priority=op[2]))
+        elif op[0] == "cancel" and scheduled:
+            scheduled[op[1] % len(scheduled)].cancel()
+        elif op[0] == "run":
+            sim.run(max_events=op[1])  # recycles events into the freelist
+    restored = roundtrip(sim)
+    assert restored.now == sim.now
+    assert restored.events_executed == sim.events_executed
+    # Both drain in the same order to the same final state.
+    assert restored.run() == sim.run()
+    assert restored.now == sim.now
+
+
+# ----------------------------------------------------------------------
+# Metapath memo caches under randomized mutation
+# ----------------------------------------------------------------------
+CANDS = [(0, 1, 2), (0, 3, 2), (0, 4, 5, 2), (0, 6, 7, 2)]
+
+_metapath_op = st.one_of(
+    st.just(("expand",)),
+    st.just(("shrink",)),
+    st.tuples(st.just("prune"), st.sets(st.integers(0, 3), max_size=2)),
+    st.tuples(st.just("ack"), st.integers(0, 3), st.floats(1e-7, 1e-3)),
+    st.tuples(st.just("apply"), st.sets(st.integers(0, 3), min_size=1, max_size=4)),
+    st.just(("latency",)),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(_metapath_op, max_size=20))
+def test_metapath_roundtrip(ops):
+    mp = Metapath(CANDS, per_hop_cost_s=1e-6)
+    for op in ops:
+        if op[0] == "expand":
+            mp.expand()
+        elif op[0] == "shrink":
+            mp.shrink()
+        elif op[0] == "prune":
+            mp.prune(op[1])
+        elif op[0] == "ack":
+            mp.record_ack(op[1], op[2])
+        elif op[0] == "apply":
+            mp.apply_solution(tuple(sorted(op[1])))
+        elif op[0] == "latency":
+            mp.latency_s()  # populate memo caches mid-sequence
+    restored = roundtrip(mp)
+    assert restored.active_indices == mp.active_indices
+    assert restored.latency_s() == mp.latency_s()
+    # Mutate both the same way post-restore; they must stay in lockstep.
+    restored.expand(), mp.expand()
+    assert restored.active_indices == mp.active_indices
+    assert restored.version == mp.version
+
+
+# ----------------------------------------------------------------------
+# PR-DRB solution database
+# ----------------------------------------------------------------------
+_signature = st.frozensets(st.integers(0, 9), min_size=1, max_size=5)
+
+_db_op = st.one_of(
+    st.tuples(
+        st.just("save"),
+        _signature,
+        st.sets(st.integers(0, 3), min_size=1, max_size=3),
+        st.floats(1e-6, 1e-2),
+    ),
+    st.tuples(st.just("lookup"), _signature),
+    st.tuples(st.just("invalidate"), st.sets(st.integers(0, 3), max_size=2)),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(_db_op, max_size=20))
+def test_solution_database_roundtrip(ops):
+    db = SolutionDatabase()
+    for op in ops:
+        if op[0] == "save":
+            db.save(op[1], tuple(sorted(op[2])), op[3])
+        elif op[0] == "lookup":
+            db.lookup(op[1])
+        elif op[0] == "invalidate":
+            db.invalidate(lambda idx, dead=op[1]: idx not in dead)
+    restored = roundtrip(db)
+    assert (restored.lookups, restored.hits, restored.invalidated) == (
+        db.lookups,
+        db.hits,
+        db.invalidated,
+    )
+    probe = frozenset({0, 1, 2})
+    assert restored.lookup(probe) == db.lookup(probe)
+
+
+# ----------------------------------------------------------------------
+# Engine checkpoint cadence
+# ----------------------------------------------------------------------
+def test_cadence_hook_fires_at_event_boundaries():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), _noop)
+    seen = []
+    sim.set_checkpoint_cadence(3, lambda: seen.append(sim.events_executed))
+    sim.run()
+    # events_executed is flushed before the hook runs, at exact multiples.
+    assert seen == [3, 6, 9]
+
+
+def test_cadence_disarm_and_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.set_checkpoint_cadence(0, lambda: None)
+    sim.set_checkpoint_cadence(5, lambda: None)
+    sim.set_checkpoint_cadence(None)  # disarm
+    sim.schedule(0.0, _noop)
+    sim.run()  # no hook, no error
+
+
+def test_cadence_state_is_not_checkpointed():
+    sim = Simulator()
+    sim.set_checkpoint_cadence(5, lambda: None)  # closure: unpicklable
+    restored = roundtrip(sim)
+    assert restored._ck_every is None
+    assert restored._ck_hook is None

@@ -1,0 +1,196 @@
+"""Fixture tests for the ``snapshot-coverage`` contract pass.
+
+Each fixture plants one way a Snapshottable class can drift out of
+checkpoint coverage — an undeclared slot, an undeclared ``self.x``
+store, a stale declaration, a computed declaration — plus the clean
+shapes that must stay silent (inherited coverage, class-level defaults
+on plain classes, ``_snapshot_exclude_``, pragmas).
+"""
+
+import textwrap
+
+from repro.analysis.contracts import analyze_paths
+
+from tests.test_analysis_contracts import findings, write_pkg
+
+PASSES = ["snapshot-coverage"]
+
+SNAP_BASE = """
+    from typing import ClassVar
+
+    class Snapshottable:
+        __slots__ = ()
+        _snapshot_fields_: ClassVar[tuple] = ()
+        _snapshot_exclude_: ClassVar[tuple] = ()
+    """
+
+
+def snap_findings(tmp_path, body):
+    return findings(
+        tmp_path,
+        {"state.py": SNAP_BASE, "mod.py": "from pkg.state import Snapshottable\n"
+         + textwrap.dedent(body)},
+        passes=PASSES,
+    )
+
+
+def test_uncovered_slot_flagged(tmp_path):
+    hits = snap_findings(
+        tmp_path,
+        """
+        class Router(Snapshottable):
+            __slots__ = ("queue", "drops")
+            _snapshot_fields_ = ("queue",)
+        """,
+    )
+    assert len(hits) == 1
+    assert "Router.drops" in hits[0].message
+
+
+def test_uncovered_self_store_flagged(tmp_path):
+    hits = snap_findings(
+        tmp_path,
+        """
+        class Nic(Snapshottable):
+            _snapshot_fields_ = ("sent",)
+
+            def __init__(self):
+                self.sent = 0
+
+            def grow(self):
+                self.retries = 0
+        """,
+    )
+    assert len(hits) == 1
+    assert "Nic.retries" in hits[0].message
+
+
+def test_stale_declaration_flagged(tmp_path):
+    hits = snap_findings(
+        tmp_path,
+        """
+        class Fabric(Snapshottable):
+            __slots__ = ("links",)
+            _snapshot_fields_ = ("links", "ghost")
+        """,
+    )
+    assert len(hits) == 1
+    assert "`ghost`" in hits[0].message and "stale" in hits[0].message
+
+
+def test_computed_declaration_flagged(tmp_path):
+    hits = snap_findings(
+        tmp_path,
+        """
+        NAMES = ("a",)
+
+        class Dyn(Snapshottable):
+            __slots__ = ("a",)
+            _snapshot_fields_ = NAMES
+        """,
+    )
+    # The computed tuple is unauditable AND leaves `a` uncovered.
+    assert {("literal tuple" in h.message, "Dyn.a" in h.message) for h in hits} == {
+        (True, False),
+        (False, True),
+    }
+
+
+def test_exclude_counts_as_coverage(tmp_path):
+    assert not snap_findings(
+        tmp_path,
+        """
+        class Traced(Snapshottable):
+            __slots__ = ("state", "tracer")
+            _snapshot_fields_ = ("state",)
+            _snapshot_exclude_ = ("tracer",)
+        """,
+    )
+
+
+def test_subclass_inherits_base_coverage(tmp_path):
+    assert not snap_findings(
+        tmp_path,
+        """
+        class Base(Snapshottable):
+            __slots__ = ("a",)
+            _snapshot_fields_ = ("a",)
+
+        class Child(Base):
+            __slots__ = ("b",)
+            _snapshot_fields_ = ("b",)
+
+            def touch(self):
+                self.a = 1  # base-declared, still covered
+        """,
+    )
+
+
+def test_plain_class_annotated_defaults_are_not_state(tmp_path):
+    # On a non-dataclass, `name: str = "x"` is a class-level default.
+    assert not snap_findings(
+        tmp_path,
+        """
+        class Policy(Snapshottable):
+            name: str = "abstract"
+            wants_acks: bool = False
+            _snapshot_fields_ = ()
+        """,
+    )
+
+
+def test_dataclass_fields_need_coverage(tmp_path):
+    hits = snap_findings(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Record(Snapshottable):
+            hits: int = 0
+            misses: int = 0
+            _snapshot_fields_ = ("hits",)
+        """,
+    )
+    assert len(hits) == 1
+    assert "Record.misses" in hits[0].message
+
+
+def test_non_snapshottable_classes_ignored(tmp_path):
+    assert not snap_findings(
+        tmp_path,
+        """
+        class Helper:
+            __slots__ = ("undeclared",)
+        """,
+    )
+
+
+def test_pragma_suppresses(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "state.py": SNAP_BASE,
+            "mod.py": textwrap.dedent(
+                """
+                from pkg.state import Snapshottable
+
+                class Scratch(Snapshottable):  # repro: allow(snapshot-coverage)
+                    __slots__ = ("transient",)
+                    _snapshot_fields_ = ()
+                """
+            ),
+        },
+    )
+    report = analyze_paths([str(root)], passes=PASSES)
+    assert not report.findings
+    assert len(report.suppressed) == 1
+
+
+def test_real_tree_is_clean():
+    """src/repro itself must stay at zero snapshot-coverage findings."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    report = analyze_paths([str(src)], passes=PASSES)
+    assert [f.message for f in report.findings] == []
