@@ -28,8 +28,12 @@ from repro.checkpoint.runner import (
 )
 from repro.checkpoint.state import SnapshotError
 
-#: the acceptance campaign's policy set.
-_VERIFY_POLICIES = ("deterministic", "drb", "fr-drb", "pr-drb")
+#: the acceptance campaign's policy set (the DRB family plus the
+#: notification-driven adaptive family, which carries zone-pair state
+#: across the snapshot boundary).
+_VERIFY_POLICIES = (
+    "deterministic", "drb", "fr-drb", "pr-drb", "notified-adaptive", "ugal",
+)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:

@@ -55,6 +55,11 @@ NOTIFICATION = "router"
 #: specs in-process, so results are identical either way.
 MESH_SPEC = "mesh:8"
 FATTREE_SPEC = "fattree:4,3"
+#: dragonfly(a=4, p=2, h=2): 9 groups, 36 routers, 72 hosts — the smallest
+#: canonical dragonfly where every ordered group pair shares exactly one
+#: global link, so a single group-pair hot-spot saturates it under
+#: minimal routing (the arXiv:2502.00616 escalation scenario).
+DRAGONFLY_SPEC = "dragonfly:4,2,2"
 
 
 def _hotspot_schedule(scale: Scale) -> BurstSchedule:
@@ -1368,3 +1373,135 @@ def ext_fault_resilience(scale: Scale = QUICK) -> ExperimentResult:
 
 
 ALL_SCENARIOS["ext_faults"] = ext_fault_resilience
+
+
+# ======================================================================
+# Dragonfly extension: notified-adaptive routing (ROADMAP item 1)
+# ======================================================================
+
+#: every host of group 0 sends to its mirror host in group 1, so all
+#: eight flows contend for the one global link the pair owns — minimal
+#: routing caps the pair at 1/8th of the offered load while Valiant
+#: detours through the other seven groups stay idle.
+DRAGONFLY_HOTSPOT_FLOWS = [(h, h + 8) for h in range(8)]
+
+
+def _dragonfly_runs(
+    scale: Scale,
+    policies,
+    rate_mbps: float = HOTSPOT_RATE_MBPS,
+    noise_rate_mbps: float = 0.0,
+) -> dict[str, PolicyRun]:
+    sched = BurstSchedule(
+        on_s=BURST_ON_S, off_s=1e-4, repetitions=min(scale.repetitions, 2)
+    )
+    return run_hotspot_workload(
+        DRAGONFLY_SPEC,
+        policies,
+        DRAGONFLY_HOTSPOT_FLOWS,
+        rate_mbps=rate_mbps,
+        schedule=sched,
+        noise_rate_mbps=noise_rate_mbps,
+        drain_s=8e-4,
+        seeds=scale.seeds,
+        config=mesh_config(),
+        notification=NOTIFICATION,
+        window_s=scale.window_s,
+        executor=default_executor(),
+    )
+
+
+def ext_dragonfly_hotspot(scale: Scale = QUICK) -> ExperimentResult:
+    """Adversarial group-pair hot-spot: notification-escalated Valiant.
+
+    The dragonfly stress case from the ARN paper (arXiv:2502.00616): an
+    adversarial permutation pins one group pair, whose single global link
+    becomes the bottleneck.  Deterministic minimal routing saturates it;
+    the notified-adaptive policy escalates the pair to Valiant on the
+    first router notification and spreads the load over the idle groups,
+    as does the UGAL queue-occupancy baseline it is measured against.
+    """
+    result = ExperimentResult(
+        "EXT-dragonfly",
+        "Dragonfly group-pair hot-spot (minimal vs notified Valiant)",
+        "Minimal routing bottlenecks on the single inter-group link; "
+        "notification-driven Valiant escalation restores full throughput "
+        "(ARN, arXiv:2502.00616; UGAL as baseline).",
+    )
+    policies = ["deterministic", "notified-adaptive", "ugal"]
+    runs = _dragonfly_runs(scale, policies)
+    for name in policies:
+        r = runs[name]
+        row = r.row()
+        row["valiant_routed"] = r.policy_stats.get("valiant_routed", 0)
+        result.rows.append(row)
+    det, arn, ugal = (
+        runs["deterministic"], runs["notified-adaptive"], runs["ugal"],
+    )
+    result.check(
+        "notified-adaptive throughput >= 1.2x deterministic",
+        arn.accepted_ratio >= det.accepted_ratio * 1.2,
+    )
+    result.check(
+        "notified-adaptive latency below deterministic",
+        arn.global_latency_s < det.global_latency_s,
+    )
+    result.check(
+        "router notifications escalated the pair",
+        arn.policy_stats.get("escalations", 0) > 0
+        and arn.policy_stats.get("valiant_routed", 0) > 0,
+    )
+    result.check(
+        "UGAL also diverts to Valiant",
+        ugal.policy_stats.get("valiant_routed", 0) > 0,
+    )
+    result.check(
+        "UGAL throughput >= deterministic",
+        ugal.accepted_ratio >= det.accepted_ratio,
+    )
+    return result
+
+
+def ext_dragonfly_noise(scale: Scale = QUICK) -> ExperimentResult:
+    """Network-noise interference on the dragonfly (arXiv:1909.07865).
+
+    De Sensi et al. measure how background traffic from the *rest of the
+    system* degrades an application pinned to a few groups.  Here the
+    victim permutation (group 0 -> group 1) runs while every host injects
+    uniform-random background noise; adaptive escape paths must help the
+    victim even though the noise also occupies the non-minimal routes.
+    """
+    result = ExperimentResult(
+        "EXT-dragonfly-noise",
+        "Dragonfly victim traffic under background network noise",
+        "Network noise inflates the victim's latency under minimal "
+        "routing; notified-adaptive keeps the victim's throughput by "
+        "escaping the congested group pair (De Sensi, arXiv:1909.07865).",
+    )
+    policies = ["deterministic", "notified-adaptive", "ugal"]
+    runs = _dragonfly_runs(
+        scale, policies, noise_rate_mbps=HOTSPOT_NOISE_MBPS * 2
+    )
+    for name in policies:
+        r = runs[name]
+        row = r.row()
+        row["valiant_routed"] = r.policy_stats.get("valiant_routed", 0)
+        result.rows.append(row)
+    det, arn = runs["deterministic"], runs["notified-adaptive"]
+    result.check(
+        "victim throughput >= 1.2x deterministic under noise",
+        arn.accepted_ratio >= det.accepted_ratio * 1.2,
+    )
+    result.check(
+        "victim latency below deterministic under noise",
+        arn.global_latency_s < det.global_latency_s,
+    )
+    result.check(
+        "noise did not wedge any policy",
+        all(runs[p].accepted_ratio > 0 for p in policies),
+    )
+    return result
+
+
+ALL_SCENARIOS["ext_dragonfly_hotspot"] = ext_dragonfly_hotspot
+ALL_SCENARIOS["ext_dragonfly_noise"] = ext_dragonfly_noise

@@ -144,54 +144,82 @@ def task_key(task: SimTask, version: Optional[str] = None) -> str:
 # ----------------------------------------------------------------------
 # Topology specs
 # ----------------------------------------------------------------------
-def _mesh(args: list[float]):
+def _mesh(args: list):
     from repro.topology.mesh import Mesh2D
 
     return Mesh2D(int(args[0]))
 
 
-def _torus(args: list[float]):
+def _torus(args: list):
     from repro.topology.mesh import Torus2D
 
     return Torus2D(int(args[0]))
 
 
-def _fattree(args: list[float]):
+def _fattree(args: list):
     from repro.topology.fattree import KaryNTree
 
     return KaryNTree(int(args[0]), int(args[1]))
 
 
-def _slimtree(args: list[float]):
+def _slimtree(args: list):
     from repro.topology.slimtree import SlimmedKaryNTree
 
     return SlimmedKaryNTree(int(args[0]), int(args[1]), float(args[2]))
 
 
-def _hypercube(args: list[float]):
+def _hypercube(args: list):
     from repro.topology.hypercube import Hypercube
 
     return Hypercube(int(args[0]))
 
 
-_TOPOLOGY_BUILDERS: dict[str, Callable[[list[float]], Any]] = {
+def _dragonfly(args: list):
+    from repro.topology.dragonfly import Dragonfly
+
+    if len(args) != 3:
+        raise ValueError(
+            f"dragonfly takes exactly 3 arguments a,p,h (got {len(args)})"
+        )
+    a, p, h = args
+    if not all(isinstance(v, int) for v in (a, p, h)):
+        raise ValueError(f"dragonfly arguments must be integers (got {args!r})")
+    return Dragonfly(a, p, h)
+
+
+_TOPOLOGY_BUILDERS: dict[str, Callable[[list], Any]] = {
     "mesh": _mesh,
     "torus": _torus,
     "fattree": _fattree,
     "slimtree": _slimtree,
     "hypercube": _hypercube,
+    "dragonfly": _dragonfly,
 }
+
+
+def _coerce_arg(text: str):
+    """``"4"`` -> int 4, ``"0.5"`` -> float 0.5.
+
+    Spec arguments used to be coerced through ``float`` wholesale, which
+    silently turned integer builder params (k, n, dims) into floats;
+    builders that validate types (dragonfly) need the distinction kept.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
 
 
 def make_topology(spec: str):
     """Build a topology from a declarative spec string.
 
     Specs: ``mesh:8``, ``torus:8``, ``fattree:4,3``, ``slimtree:4,3,0.5``,
-    ``hypercube:6``.  Each call returns a fresh instance (factory
-    semantics), so a spec can replace the ``topology_factory`` callables
-    used throughout :mod:`repro.experiments`.  The instance comes with its
-    route cache pre-enabled (see ``Topology.enable_route_cache``): workers
-    answer the same minimal-route queries for every packet of a cell.
+    ``hypercube:6``, ``dragonfly:4,2,2``.  Each call returns a fresh
+    instance (factory semantics), so a spec can replace the
+    ``topology_factory`` callables used throughout
+    :mod:`repro.experiments`.  The instance comes with its route cache
+    pre-enabled (see ``Topology.enable_route_cache``): workers answer the
+    same minimal-route queries for every packet of a cell.
     """
     name, _, arg_text = spec.partition(":")
     builder = _TOPOLOGY_BUILDERS.get(name.strip())
@@ -201,7 +229,7 @@ def make_topology(spec: str):
             f"{sorted(_TOPOLOGY_BUILDERS)} with ':'-separated arguments"
         )
     try:
-        args = [float(part) for part in arg_text.split(",") if part.strip()]
+        args = [_coerce_arg(part.strip()) for part in arg_text.split(",") if part.strip()]
         topology = builder(args)
     except (ValueError, IndexError, TypeError) as exc:
         raise ValueError(f"bad topology spec {spec!r}: {exc}") from exc

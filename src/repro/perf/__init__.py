@@ -37,6 +37,7 @@ __all__ = [
     "load_baseline",
     "check_digests",
     "run_pinned_workload",
+    "run_pinned_dragonfly_workload",
     "measure_events_per_s",
     "run_suite",
     "main",
@@ -145,6 +146,64 @@ def run_pinned_workload(
     ).start()
     sim.run(max_events=max_events)
     return sim.events_executed
+
+
+def run_pinned_dragonfly_workload(
+    policy: str, max_events: Optional[int] = None, seed: int = 0,
+) -> dict:
+    """Run the pinned dragonfly group-pair hot-spot; return run counters.
+
+    The adversarial permutation behind ``benchmarks/bench_dragonfly.py``
+    and the CI dragonfly-smoke digest gate: every host of group 0 sends
+    to its mirror in group 1 on ``dragonfly:4,2,2``, so all eight flows
+    contend for the pair's single global link under router-based
+    notification, plus uniform background noise.  The parameters are
+    pinned — the smoke job compares same-seed event digests across runs,
+    so any drift here is a determinism bug, not a tunable.
+    """
+    from repro.analysis.replay import EventTraceDigest
+    from repro.network.config import NetworkConfig
+    from repro.network.fabric import Fabric
+    from repro.parallel.tasks import make_topology
+    from repro.routing import make_policy
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+    from repro.traffic.bursty import BurstSchedule
+    from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
+
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    trace = EventTraceDigest().install(sim)
+    try:
+        policy_obj = make_policy(policy, rng=streams.stream("routing"))
+    except TypeError:
+        policy_obj = make_policy(policy)
+    fabric = Fabric(
+        make_topology("dragonfly:4,2,2"),
+        NetworkConfig(),
+        policy_obj,
+        sim,
+        notification="router",
+    )
+    schedule = BurstSchedule(on_s=3e-4, off_s=1e-4, repetitions=3)
+    HotSpotWorkload(
+        fabric,
+        [HotSpotFlow(h, h + 8) for h in range(8)],
+        rate_bps=1.3e9,
+        schedule=schedule,
+        stop_s=schedule.end_time(),
+        noise_hosts=range(fabric.topology.num_hosts),
+        noise_rate_bps=30e6,
+        rng=streams.stream("noise"),
+    ).start()
+    sim.run(until=schedule.end_time() + 8e-4, max_events=max_events)
+    return {
+        "events_executed": sim.events_executed,
+        "packets_injected": fabric.data_packets_injected,
+        "packets_delivered": fabric.data_packets_delivered,
+        "digest": trace.hexdigest(),
+        "policy_stats": policy_obj.stats(),
+    }
 
 
 def measure_events_per_s(

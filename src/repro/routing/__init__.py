@@ -3,16 +3,36 @@
 Baselines: deterministic minimal, oblivious random/cyclic, source-adaptive.
 Contribution: DRB, PR-DRB (predictive), FR-DRB (fast response) and the
 predictive FR-DRB — all source-routed multipath policies balancing traffic
-over a metapath of multistep paths.
+over a metapath of multistep paths.  The notified family
+(:mod:`repro.routing.notified`) adds ARN-style escalation and a UGAL
+baseline on top of the router-based notification path.
+
+Policies resolve through a declarative registry
+(:mod:`repro.routing.registry`): :func:`make_policy` accepts a
+registered name or a ``"name:key=val,..."`` spec string, and
+:func:`register` lets new policies hook in without touching this module.
 """
 
 from repro.routing.base import RoutingPolicy
 from repro.routing.deterministic import DeterministicPolicy
 from repro.routing.oblivious import RandomPolicy, CyclicPolicy
 from repro.routing.adaptive import InNetworkAdaptivePolicy, SourceAdaptivePolicy
-from repro.routing.drb import DRBPolicy
-from repro.routing.prdrb import PRDRBPolicy
-from repro.routing.frdrb import FRDRBPolicy
+from repro.routing.drb import DRBConfig, DRBPolicy
+from repro.routing.prdrb import PRDRBConfig, PRDRBPolicy
+from repro.routing.frdrb import FRDRBConfig, FRDRBPolicy
+from repro.routing.registry import (
+    config_factory,
+    make_policy,
+    parse_policy_spec,
+    register,
+    registered_policies,
+)
+from repro.routing.notified import (
+    NotifiedAdaptivePolicy,
+    NotifiedConfig,
+    UGALConfig,
+    UGALPolicy,
+)
 
 __all__ = [
     "RoutingPolicy",
@@ -24,33 +44,29 @@ __all__ = [
     "DRBPolicy",
     "PRDRBPolicy",
     "FRDRBPolicy",
+    "NotifiedAdaptivePolicy",
+    "UGALPolicy",
+    "config_factory",
     "make_policy",
+    "parse_policy_spec",
+    "register",
+    "registered_policies",
 ]
 
-
-def make_policy(name: str, **kwargs) -> RoutingPolicy:
-    """Factory used by the experiment harness.
-
-    Recognized names: ``deterministic``, ``random``, ``cyclic``,
-    ``adaptive``, ``adaptive-hop``, ``drb``, ``pr-drb``, ``fr-drb``, ``pr-fr-drb``.
-    """
-    name = name.lower()
-    if name == "deterministic":
-        return DeterministicPolicy()
-    if name == "random":
-        return RandomPolicy(**kwargs)
-    if name == "cyclic":
-        return CyclicPolicy(**kwargs)
-    if name == "adaptive":
-        return SourceAdaptivePolicy(**kwargs)
-    if name in ("adaptive-hop", "inadaptive"):
-        return InNetworkAdaptivePolicy(**kwargs)
-    if name == "drb":
-        return DRBPolicy(**kwargs)
-    if name in ("pr-drb", "prdrb"):
-        return PRDRBPolicy(**kwargs)
-    if name in ("fr-drb", "frdrb"):
-        return FRDRBPolicy(predictive=False, **kwargs)
-    if name in ("pr-fr-drb", "predictive-fr-drb"):
-        return FRDRBPolicy(predictive=True, **kwargs)
-    raise ValueError(f"unknown routing policy {name!r}")
+register("deterministic", DeterministicPolicy)
+register("random", RandomPolicy)
+register("cyclic", CyclicPolicy)
+register("adaptive", SourceAdaptivePolicy)
+register("adaptive-hop", InNetworkAdaptivePolicy, aliases=("inadaptive",))
+register("drb", config_factory(DRBPolicy, DRBConfig))
+register("pr-drb", config_factory(PRDRBPolicy, PRDRBConfig), aliases=("prdrb",))
+register(
+    "fr-drb",
+    config_factory(FRDRBPolicy, FRDRBConfig, predictive=False),
+    aliases=("frdrb",),
+)
+register(
+    "pr-fr-drb",
+    config_factory(FRDRBPolicy, FRDRBConfig, predictive=True),
+    aliases=("predictive-fr-drb",),
+)

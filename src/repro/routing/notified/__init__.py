@@ -1,0 +1,35 @@
+"""Notification-driven adaptive routing family (ROADMAP item 1).
+
+Two policies that consume the fabric's router-based congestion
+notifications (§3.4.1's PREDICTIVE_ACK path) instead of the DRB
+family's smoothed ACK latencies:
+
+* :class:`NotifiedAdaptivePolicy` — ARN-style (arXiv:2502.00616):
+  escalate a (source zone, destination zone) pair from minimal to
+  Valiant routing when a router reports congestion, decay back after a
+  quiet hold;
+* :class:`UGALPolicy` — the UGAL queue-occupancy baseline: minimal vs
+  sampled-Valiant by hop-weighted local backlog, no notifications.
+
+Both self-register with :mod:`repro.routing.registry`, so spec strings
+like ``"notified-adaptive:hold_s=0.0005"`` work anywhere a policy name
+does.
+"""
+
+from repro.routing.notified.arn import NotifiedAdaptivePolicy, NotifiedConfig
+from repro.routing.notified.ugal import UGALConfig, UGALPolicy
+from repro.routing.registry import config_factory, register
+
+register(
+    "notified-adaptive",
+    config_factory(NotifiedAdaptivePolicy, NotifiedConfig),
+    aliases=("arn", "notified"),
+)
+register("ugal", config_factory(UGALPolicy, UGALConfig))
+
+__all__ = [
+    "NotifiedAdaptivePolicy",
+    "NotifiedConfig",
+    "UGALConfig",
+    "UGALPolicy",
+]

@@ -26,6 +26,8 @@ FAST = [
     "ablation_notification",
     "ablation_max_paths",
     "ext_faults",
+    "ext_dragonfly_hotspot",
+    "ext_dragonfly_noise",
 ]
 
 SLOW = [

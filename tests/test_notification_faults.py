@@ -1,0 +1,123 @@
+"""Router-based notification under ACK loss/delay must not wedge anyone.
+
+The router-based early-notification path (§3.4.1) carries both the DRB
+family's predictive ACKs and the notified family's escalation reports.
+:class:`repro.faults.models.AckLoss` drops or delays exactly those
+packets, so these tests pin the recovery contracts: every policy keeps
+delivering data, FR-DRB's watchdog covers the missing ACKs, and the
+notified policy's quiet-hold decay bounds how long a stale escalation
+can survive once the notification plane goes dark.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import AckLoss
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.routing import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.topology.mesh import Mesh2D
+from repro.traffic.bursty import BurstSchedule
+from repro.traffic.generators import HotSpotFlow, HotSpotWorkload
+
+#: every ACK-consuming policy reachable from the router-based path, plus
+#: UGAL as the no-notification control.
+POLICIES = ("drb", "pr-drb", "fr-drb", "pr-fr-drb", "notified-adaptive", "ugal")
+
+
+def run_hotspot(policy_name, ack_fault=None, seed=0):
+    """Mesh hot-spot with router notification and an optional ACK fault."""
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    policy = make_policy(policy_name)
+    fabric = Fabric(
+        Mesh2D(4), NetworkConfig(), policy, sim, notification="router"
+    )
+    if ack_fault is not None:
+        injector = FaultInjector(fabric, rng=streams.stream("faults"))
+        injector.apply(ack_fault)
+    schedule = BurstSchedule(on_s=1.5e-4, off_s=1e-4, repetitions=2)
+    HotSpotWorkload(
+        fabric,
+        [HotSpotFlow(0, 13), HotSpotFlow(4, 13), HotSpotFlow(1, 15)],
+        rate_bps=1.2e9,
+        schedule=schedule,
+        stop_s=schedule.end_time(),
+        rng=streams.stream("noise"),
+    ).start()
+    sim.run(until=schedule.end_time() + 8e-4)
+    return fabric, policy
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_total_notification_loss_does_not_wedge(policy_name):
+    """With every ACK dropped, data delivery must still complete."""
+    fabric, _ = run_hotspot(policy_name, AckLoss(drop_probability=1.0))
+    assert fabric.data_packets_delivered > 0
+    assert fabric.accepted_ratio() > 0.5
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_notification_delay_does_not_wedge(policy_name):
+    """Delayed (not lost) notifications: late news is still news."""
+    fault = AckLoss(drop_probability=0.0, delay_probability=1.0, delay_s=5e-5)
+    fabric, _ = run_hotspot(policy_name, fault)
+    assert fabric.data_packets_delivered > 0
+    assert fabric.accepted_ratio() > 0.5
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_partial_loss_matches_clean_delivery_volume(policy_name):
+    """50% notification loss degrades control, never data correctness."""
+    clean, _ = run_hotspot(policy_name)
+    faulty, _ = run_hotspot(policy_name, AckLoss(drop_probability=0.5))
+    assert faulty.data_packets_injected == clean.data_packets_injected
+    assert faulty.data_packets_delivered == faulty.data_packets_injected
+
+
+def test_frdrb_watchdog_covers_lost_acks():
+    """FR-DRB's whole point: no ACKs, yet congestion is still detected."""
+    _, policy = run_hotspot("fr-drb", AckLoss(drop_probability=1.0))
+    assert policy.watchdog_fires > 0
+    assert policy.expansions > 0
+
+
+def test_notified_decay_is_the_loss_watchdog():
+    """An escalated pair cannot outlive hold_s once notifications stop.
+
+    Escalate via one delivered report, then cut the notification plane
+    entirely: the next send past the quiet hold must revert to minimal.
+    """
+    from repro.network.packet import ContendingFlow, make_predictive_ack
+    from repro.routing.notified import NotifiedAdaptivePolicy, NotifiedConfig
+    from repro.topology.dragonfly import Dragonfly
+
+    policy = NotifiedAdaptivePolicy(NotifiedConfig(hold_s=1e-4))
+    Fabric(
+        Dragonfly(4, 2, 2), NetworkConfig(), policy, Simulator(),
+        notification="router",
+    )
+    pack = make_predictive_ack(
+        router=0, target_src=0, path=(0,),
+        contending=[ContendingFlow(0, 8)],
+        queue_latency=1e-4, size_bytes=8, now=0.0,
+    )
+    policy.on_predictive_ack(pack, 0.0)
+    _, idx = policy.select_path(0, 8, 1024, 5e-5)
+    assert idx > 0  # escalated while the hold is fresh
+    # Notification plane dark from here on; hold expires.
+    _, idx = policy.select_path(0, 8, 1024, 5e-4)
+    assert idx == 0
+    assert policy.reversions == 1
+
+
+@pytest.mark.parametrize("policy_name", ("pr-drb", "notified-adaptive"))
+def test_faulted_runs_are_seed_deterministic(policy_name):
+    """The fault draw rides the seeded stream: same seed, same outcome."""
+    fault = AckLoss(drop_probability=0.3, delay_probability=0.3, delay_s=2e-5)
+    a, pa = run_hotspot(policy_name, fault, seed=5)
+    b, pb = run_hotspot(policy_name, fault, seed=5)
+    assert a.data_packets_delivered == b.data_packets_delivered
+    assert pa.stats() == pb.stats()

@@ -104,6 +104,7 @@ class TestMakeTopology:
             ("fattree:4,2", "KaryNTree", 16),
             ("slimtree:4,2,0.5", "SlimmedKaryNTree", 16),
             ("hypercube:4", "Hypercube", 16),
+            ("dragonfly:4,2,2", "Dragonfly", 72),
         ],
     )
     def test_builds_each_family(self, spec, cls_name, hosts):
@@ -113,6 +114,15 @@ class TestMakeTopology:
 
     def test_factory_semantics_fresh_instances(self):
         assert make_topology("mesh:4") is not make_topology("mesh:4")
+
+    def test_spec_arguments_preserve_int_vs_float(self):
+        # "4" must reach builders as int 4 (dragonfly validates types),
+        # while "0.5" stays a float (slimtree's thinning ratio).
+        d = make_topology("dragonfly:4,2,2")
+        assert (d.a, d.p, d.h) == (4, 2, 2)
+        assert all(isinstance(v, int) for v in (d.a, d.p, d.h))
+        slim = make_topology("slimtree:4,2,0.5")
+        assert slim.num_hosts == 16
 
     @pytest.mark.parametrize("spec", ["ring:4", "mesh", "mesh:abc", "fattree:4"])
     def test_bad_specs_raise(self, spec):
