@@ -66,9 +66,13 @@ def hotspot_task(policy: str, seed: int) -> SimTask:
 def run_bench(policies=DEFAULT_POLICIES, n_seeds=8, workers=None, out="BENCH_parallel.json"):
     cpu_count = os.cpu_count() or 1
     # Always exercise the real process pool (>= 2 workers), even on boxes
-    # where that cannot speed anything up — the numbers stay honest
-    # because cpu_count is recorded alongside.
+    # where that cannot speed anything up — correctness (bit-identity,
+    # cache behaviour) is worth checking regardless of core count.  The
+    # *timed* comparison is a different matter: a pool with more workers
+    # than cores measures oversubscription, not parallelism, so the
+    # speedup is only reported when the pool fits the machine.
     workers = workers or max(2, min(4, cpu_count))
+    oversubscribed = workers > cpu_count
     tasks = [hotspot_task(p, s) for p in policies for s in range(n_seeds)]
     version = "bench-parallel-v1"  # pinned: measurement, not invalidation
 
@@ -100,10 +104,25 @@ def run_bench(policies=DEFAULT_POLICIES, n_seeds=8, workers=None, out="BENCH_par
             canonical_json(r) for r in serial.results
         ]
 
-    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
-    if cpu_count >= 4:
+    if oversubscribed:
+        # The pool leg launched more workers than cores: its wall time
+        # measures contention, not parallel speedup.  Recording a sub-1x
+        # "speedup" here would be misleading (and was: 0.79x on a 1-core
+        # box), so the timed comparison is skipped with the reason.
+        speedup = None
+        speedup_assertion = {
+            "checked": False,
+            "skipped_reason": (
+                f"{workers} workers > {cpu_count} core(s): the pool leg is "
+                "oversubscribed, so its wall time measures contention, not "
+                "speedup"
+            ),
+        }
+    elif cpu_count >= 4:
+        speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
         speedup_assertion = {"checked": True, "skipped_reason": None}
     else:
+        speedup = serial.wall_s / parallel.wall_s if parallel.wall_s > 0 else 0.0
         speedup_assertion = {
             "checked": False,
             "skipped_reason": (
@@ -123,9 +142,10 @@ def run_bench(policies=DEFAULT_POLICIES, n_seeds=8, workers=None, out="BENCH_par
         },
         "cpu_count": cpu_count,
         "workers": workers,
+        "oversubscribed": oversubscribed,
         "serial_wall_s": round(serial.wall_s, 4),
         "parallel_wall_s": round(parallel.wall_s, 4),
-        "speedup": round(speedup, 3),
+        "speedup": round(speedup, 3) if speedup is not None else None,
         "cached_wall_s": round(cached.wall_s, 4),
         "cache_hit_rate": cached.cache_hits / len(tasks),
         "bit_identical": True,

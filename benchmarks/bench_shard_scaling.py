@@ -1,0 +1,25 @@
+"""Benchmark: space-parallel sharded simulation vs serial execution.
+
+Thin wrapper over :mod:`repro.shard.bench` so the measurement lives with
+the shard package (the ``python -m repro.shard bench`` subcommand runs
+the same code).  Writes ``BENCH_shard.json`` at the repo root.
+
+Standalone:
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+        [--quick] [--shards 2 4] [--scenarios mesh16 dragonfly] [--out BENCH_shard.json]
+"""
+
+from __future__ import annotations
+
+from repro.shard.bench import main, run_bench
+
+__all__ = ["main", "run_bench", "bench_shard_scaling"]
+
+
+def bench_shard_scaling(benchmark):
+    """pytest-benchmark entry point (one quick serial+sharded pass)."""
+    benchmark.pedantic(run_bench, kwargs={"quick": True}, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

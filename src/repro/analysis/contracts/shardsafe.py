@@ -1,0 +1,156 @@
+"""shard-safety: cross-shard handoff payloads use the snapshot protocol.
+
+Sharded runs (docs/sharding.md) move events between worker processes at
+window barriers; everything inside those messages must serialize through
+the explicit Snapshottable protocol, never through ad-hoc pickling of
+closures or open ``__dict__`` classes — a payload that pickles by
+accident in one Python version is a silent wire-format hazard in the
+next.  The runtime enforces this per message
+(:func:`repro.shard.protocol.check_handoff_payload`); this pass
+cross-checks the declarations statically:
+
+* every entry of a ``HANDOFF_PAYLOAD_TYPES`` tuple resolves to a class
+  that descends from ``Snapshottable`` (lambdas, calls, or unresolvable
+  names are findings);
+* ``Handoff(...)`` construction sites never pass a lambda — a closure
+  cannot cross a spawn boundary;
+* ``apply_arrival(...)`` / ``alloc_handoff_rank(...)`` call sites (the
+  two places a callable is associated with a cross-shard operation)
+  never pass a lambda either: the receiving shard rebinds the callable
+  to its *own* fabric, so only named methods make sense there.
+
+Suppress with ``# repro: allow(shard-safety)`` only for payload types
+whose Snapshottable declaration lives outside the analyzed roots.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.contracts.graph import ModuleGraph, ModuleInfo
+from repro.analysis.lint import Violation
+
+__all__ = ["ShardSafetyPass"]
+
+RULE = "shard-safety"
+
+_REGISTRY = "HANDOFF_PAYLOAD_TYPES"
+_SNAPSHOT_ROOT = "Snapshottable"
+#: calls whose arguments associate callables/payloads with a handoff.
+_HANDOFF_CALLS = {"Handoff", "apply_arrival", "alloc_handoff_rank"}
+
+
+def _violation(path: str, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        rule=RULE,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+class ShardSafetyPass:
+    name = RULE
+    summary = "cross-shard handoff payloads outside the Snapshottable protocol"
+
+    def check(self, graph: ModuleGraph) -> list[Violation]:
+        out: list[Violation] = []
+        for module in sorted(graph.modules.values(), key=lambda m: m.path):
+            self._check_registry(module, graph, out)
+            self._check_handoff_sites(module, out)
+        return out
+
+    # -- the declared payload whitelist ---------------------------------
+    def _check_registry(
+        self, module: ModuleInfo, graph: ModuleGraph, out: list[Violation]
+    ) -> None:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            if not any(isinstance(t, ast.Name) and t.id == _REGISTRY for t in targets):
+                continue
+            value = stmt.value
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                out.append(
+                    _violation(
+                        module.path,
+                        stmt,
+                        f"{_REGISTRY} must be a literal tuple of class names "
+                        "so the payload whitelist is statically auditable",
+                    )
+                )
+                continue
+            for entry in value.elts:
+                self._check_payload_type(module, graph, entry, out)
+
+    def _check_payload_type(
+        self,
+        module: ModuleInfo,
+        graph: ModuleGraph,
+        entry: ast.expr,
+        out: list[Violation],
+    ) -> None:
+        if not isinstance(entry, ast.Name):
+            out.append(
+                _violation(
+                    module.path,
+                    entry,
+                    f"{_REGISTRY} entry is not a plain class name; only "
+                    "Snapshottable-declared classes may cross a shard boundary",
+                )
+            )
+            return
+        cls = graph.resolve_class(entry.id, module)
+        if cls is None:
+            out.append(
+                _violation(
+                    module.path,
+                    entry,
+                    f"{_REGISTRY} entry `{entry.id}` does not resolve to a "
+                    "class in the analyzed tree; its snapshot contract cannot "
+                    "be verified",
+                )
+            )
+            return
+        if cls.name == _SNAPSHOT_ROOT:
+            return
+        bases, _unresolved = graph.base_classes(cls)
+        if not any(base.name == _SNAPSHOT_ROOT for base in bases):
+            out.append(
+                _violation(
+                    module.path,
+                    entry,
+                    f"{_REGISTRY} entry `{entry.id}` is not Snapshottable-"
+                    "declared; handoff payloads must serialize through the "
+                    "snapshot protocol (docs/sharding.md)",
+                )
+            )
+
+    # -- construction / scheduling sites --------------------------------
+    def _check_handoff_sites(self, module: ModuleInfo, out: list[Violation]) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            called = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if called not in _HANDOFF_CALLS:
+                continue
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if isinstance(arg, ast.Lambda):
+                    out.append(
+                        _violation(
+                            module.path,
+                            arg,
+                            f"lambda passed to {called}(); closures cannot "
+                            "cross a shard process boundary — use a named "
+                            "method the receiving shard can rebind",
+                        )
+                    )

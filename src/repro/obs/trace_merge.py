@@ -1,0 +1,36 @@
+"""Merge per-shard JSONL traces into one canonical timeline.
+
+A sharded run (docs/sharding.md) writes one trace file per worker plus
+the coordinator's ``shard.sync`` stream; downstream tooling (the obs
+exporter, trace diffing) expects a single file ordered by simulated
+time.  The merge is a stable sort on ``(ts, input index, record
+index)``: records with equal timestamps keep a deterministic order, so
+two merges of the same run are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.tracer import JsonlSink, read_trace
+
+__all__ = ["merge_shard_traces"]
+
+
+def merge_shard_traces(inputs: Sequence, output, label: str = "shard-merged") -> int:
+    """Merge ``inputs`` (JSONL trace paths) into ``output``; returns count."""
+    keyed = []
+    for index, path in enumerate(inputs):
+        _header, records = read_trace(path)
+        keyed.extend(
+            (record.ts, index, position, record)
+            for position, record in enumerate(records)
+        )
+    keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+    sink = JsonlSink(output, label=label)
+    try:
+        for _ts, _index, _position, record in keyed:
+            sink.write(record)
+    finally:
+        sink.close()
+    return len(keyed)

@@ -1,0 +1,274 @@
+"""Per-shard simulator: rank-ordered calendar + windowed execution.
+
+:class:`ShardSimulator` specializes the serial engine for space-parallel
+runs (docs/sharding.md):
+
+* every scheduled event carries a :class:`~repro.shard.rank.Rank` in its
+  sequence slot, so ``(time, priority)`` ties across *and* within shards
+  resolve in exactly the serial calendar's order;
+* **setup mode** replays the full workload setup on every shard with one
+  global counter, enqueueing only the root operations this shard owns —
+  all shards therefore agree on setup ranks without communicating;
+* :meth:`run_window` executes one conservative synchronization window
+  ``[.., bound)`` while tracking the currently-executing pop so child
+  ranks (and cross-shard handoff ranks) can be derived;
+* in **verify mode** it additionally logs every pop and every scheduling
+  call, which is what the offline merge uses to reconstruct the serial
+  global sequence numbers and recompute the exact
+  :class:`~repro.analysis.replay.EventTraceDigest`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, ClassVar, Optional
+
+from repro.sim.engine import (
+    _ARGS,
+    _CANCELLED,
+    _FN,
+    _PRIORITY,
+    _SEQUENCE,
+    _TIME,
+    Event,
+    SimulationError,
+    Simulator,
+    _never,
+)
+from repro.shard.rank import Rank
+
+__all__ = ["ShardSimulator"]
+
+#: pop-record layout: [time, priority, label, children, annotations]
+REC_TIME, REC_PRIO, REC_LABEL, REC_CHILDREN, REC_NOTES = range(5)
+
+
+class ShardSimulator(Simulator):
+    """One shard's event calendar inside a space-parallel run."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "shard_id",
+        "_op_counter",
+        "_setup_counter",
+    )
+    _snapshot_exclude_: ClassVar[tuple[str, ...]] = (
+        "_setup_mode",
+        "_setup_owner",
+        "_setup_log",
+        "_pop_log",
+        "_cur_time",
+        "_cur_prio",
+        "_cur_rank",
+        "_cur_children",
+        "_cur_record",
+        "window_bound",
+    )
+
+    def __init__(self, shard_id: int, start_time: float = 0.0, verify: bool = False) -> None:
+        super().__init__(start_time)
+        self.shard_id = int(shard_id)
+        #: per-shard operation counter: increments once per scheduling
+        #: call made during execution, in call order (the rank contract).
+        self._op_counter = 0
+        #: global setup-operation counter (identical across shards).
+        self._setup_counter = 0
+        self._setup_mode = False
+        self._setup_owner: Optional[Callable[..., int]] = None
+        #: verify mode: (time, prio, owner_shard, label) per setup op.
+        self._setup_log: Optional[list] = [] if verify else None
+        #: verify mode: one [time, prio, label, children, notes] per pop.
+        self._pop_log: Optional[list] = [] if verify else None
+        self._cur_time = 0.0
+        self._cur_prio = 0
+        self._cur_rank: Optional[Rank] = None
+        self._cur_children = 0
+        self._cur_record: Optional[list] = None
+        #: lower bound of the window currently executing (the lookahead
+        #: guard in ShardFabric compares handoff times against it).
+        self.window_bound: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Setup mode
+    # ------------------------------------------------------------------
+    def begin_setup(self, owner: Callable[[Callable, tuple], int]) -> None:
+        """Enter setup mode: count every root op, enqueue only ours.
+
+        ``owner(fn, args)`` must deterministically map a root operation
+        to its owning shard — identically on every shard.
+        """
+        self._setup_mode = True
+        self._setup_owner = owner
+
+    def end_setup(self) -> int:
+        """Leave setup mode; returns the global setup-op count."""
+        self._setup_mode = False
+        self._setup_owner = None
+        return self._setup_counter
+
+    @property
+    def setup_log(self) -> Optional[list]:
+        return self._setup_log
+
+    @property
+    def pop_log(self) -> Optional[list]:
+        return self._pop_log
+
+    # ------------------------------------------------------------------
+    # Rank-bearing scheduling
+    # ------------------------------------------------------------------
+    def _push(self, time: float, priority: int, rank: Rank, fn, args) -> Event:
+        free = self._free
+        if free:
+            event = free.pop()
+            event[_TIME] = time
+            event[_PRIORITY] = priority
+            event[_SEQUENCE] = rank
+            event[_FN] = fn
+            event[_ARGS] = args
+            event[_CANCELLED] = False
+        else:
+            event = Event((time, priority, rank, fn, args, False))
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _rank_for(self, time: float, priority: int, fn, args, remote_shard: Optional[int]) -> Optional[Rank]:
+        """Allocate the next rank; None means "not ours, don't enqueue".
+
+        ``remote_shard`` is set for cross-shard handoffs (the child op is
+        recorded as executing there, but the rank is still allocated
+        from *this* shard's counter, in call order).
+        """
+        if self._setup_mode:
+            counter = self._setup_counter
+            self._setup_counter = counter + 1
+            owner = self._setup_owner(fn, args)  # type: ignore[misc]
+            if self._setup_log is not None:
+                self._setup_log.append(
+                    (time, priority, owner, getattr(fn, "__qualname__", repr(fn)))
+                )
+            if owner != self.shard_id:
+                return None
+            return Rank.setup(counter)
+        parent = self._cur_rank
+        if parent is None:
+            raise SimulationError(
+                "sharded scheduling outside setup and outside any event "
+                "callback: the operation has no deterministic rank"
+            )
+        counter = self._op_counter
+        self._op_counter = counter + 1
+        self._cur_children += 1
+        if self._cur_record is not None:
+            self._cur_record[REC_CHILDREN].append(
+                (time, priority, self.shard_id if remote_shard is None else remote_shard)
+            )
+        return Rank.child_of(parent, self._cur_time, self._cur_prio, self.shard_id, counter)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any, priority: int = 0) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self.now + delay
+        rank = self._rank_for(time, priority, fn, args, None)
+        if rank is None:
+            # Root op owned by another shard: hand back an inert event so
+            # callers holding the handle (for cancel) stay correct.
+            return Event((time, priority, -1, _never, (), True))
+        return self._push(time, priority, rank, fn, args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any, priority: int = 0) -> Event:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self.now!r}"
+            )
+        rank = self._rank_for(time, priority, fn, args, None)
+        if rank is None:
+            return Event((time, priority, -1, _never, (), True))
+        return self._push(time, priority, rank, fn, args)
+
+    def alloc_handoff_rank(self, time: float, priority: int, dest_shard: int, fn, args) -> Rank:
+        """Rank for an op that will execute on ``dest_shard``."""
+        rank = self._rank_for(time, priority, fn, args, dest_shard)
+        if rank is None:  # pragma: no cover - handoffs never happen in setup
+            raise SimulationError("cross-shard handoff during setup")
+        return rank
+
+    def apply_arrival(self, time: float, priority: int, rank: Rank, fn, args) -> None:
+        """Enqueue a cross-shard arrival delivered at a window barrier."""
+        if time < self.now:
+            raise SimulationError(
+                f"arrival at {time!r} is in this shard's past (now={self.now!r}); "
+                "the lookahead contract was violated"
+            )
+        self._push(time, priority, rank, fn, args)
+
+    # ------------------------------------------------------------------
+    # Verify-mode annotations
+    # ------------------------------------------------------------------
+    def annotate(self, note: tuple) -> None:
+        """Attach ``note`` to the pop record currently executing."""
+        record = self._cur_record
+        if record is not None:
+            record[REC_NOTES].append(note)
+
+    # ------------------------------------------------------------------
+    # Windowed execution
+    # ------------------------------------------------------------------
+    def run_window(self, bound: float, inclusive: bool = False) -> int:
+        """Execute events with ``time < bound`` (``<= bound`` when final).
+
+        Maintains the currently-executing pop context so child ranks are
+        derivable, and (verify mode) logs each pop with its scheduling
+        calls.  The final window of a run is inclusive and advances the
+        clock to ``bound``, mirroring the serial ``run(until=bound)``.
+        """
+        executed = 0
+        self.window_bound = bound
+        queue = self._queue
+        free = self._free
+        pop = heapq.heappop
+        log = self._pop_log
+        try:
+            while queue:
+                event = queue[0]
+                time = event[_TIME]
+                if (time > bound) if inclusive else (time >= bound):
+                    break
+                pop(queue)
+                if event[_CANCELLED]:
+                    event[_FN] = _never
+                    event[_ARGS] = ()
+                    free.append(event)
+                    continue
+                self.now = time
+                prio = event[_PRIORITY]
+                self._cur_time = time
+                self._cur_prio = prio
+                self._cur_rank = event[_SEQUENCE]
+                self._cur_children = 0
+                fn = event[_FN]
+                if log is not None:
+                    record = [
+                        time,
+                        prio,
+                        getattr(fn, "__qualname__", repr(fn)),
+                        [],
+                        [],
+                    ]
+                    self._cur_record = record
+                    log.append(record)
+                hook = self._dispatch
+                if hook is not None:
+                    hook(event)
+                fn(*event[_ARGS])
+                executed += 1
+                event[_FN] = _never
+                event[_ARGS] = ()
+                free.append(event)
+        finally:
+            self._cur_rank = None
+            self._cur_record = None
+            self.window_bound = None
+            self._events_executed += executed
+        if inclusive and self.now < bound:
+            self.now = bound
+        return executed

@@ -1,0 +1,308 @@
+"""Offline merge: rebuild the serial digests from per-shard logs.
+
+Sharded execution cannot carry the serial engine's global sequence
+counter (shards would have to serialize on it), so the digest gate works
+after the fact: every shard logs its pops — ``(time, priority, label,
+children, notes)`` — and this module replays the logs through a single
+calendar that re-assigns the *serial* sequence numbers:
+
+* the calendar is seeded with the setup operations (identical on every
+  shard, globally counted), taking serial seqs ``0..S-1``;
+* pop the minimum ``(time, priority, seq)`` entry; it must match, field
+  for field, the next unconsumed pop record of the shard that executed
+  it — anything else is a loud divergence, not a digest mismatch later;
+* the popped record's children are pushed with consecutive fresh seqs in
+  recorded scheduling-call order — exactly when and how the serial
+  engine would have assigned them (children get their seqs inside the
+  parent's callback);
+* entries past the run horizon are drained without digesting: the serial
+  run leaves them pending in the queue, but they did consume sequence
+  numbers at scheduling time.
+
+The same replay rebuilds the *metric* digest: delivery annotations feed
+a fresh :class:`~repro.metrics.recorder.StatsRecorder` in merged order
+(float accumulation order is bit-significant), fabric counters sum,
+contention maps union disjointly (only owned routers forward), and
+policy statistics merge per key — with DRB's ``mean_active_paths``
+averaged over the merged flow-creation order recovered from ``flow``
+annotations.  :func:`~repro.analysis.replay.digest_metrics` then runs
+verbatim over the merged views, so the comparison exercises the real
+hashing code, not a parallel reimplementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.replay import _DIGEST_BLOCK_EVENTS, EventTraceDigest, digest_metrics
+from repro.metrics.recorder import StatsRecorder
+from repro.shard.engine import REC_CHILDREN, REC_LABEL, REC_NOTES, REC_PRIO, REC_TIME
+
+__all__ = [
+    "MergeError",
+    "MergedRun",
+    "ShardResult",
+    "collect_result",
+    "merge_results",
+]
+
+#: the fabric counters digest_metrics reads, summed across shards.
+COUNTER_NAMES = (
+    "data_packets_injected",
+    "data_packets_delivered",
+    "data_bytes_delivered",
+    "acks_delivered",
+    "predictive_acks_delivered",
+    "packets_dropped",
+)
+
+#: policy-stat keys that must be identical on every shard.
+_IDENTITY_KEYS = frozenset({"policy", "predictive"})
+#: policy-stat keys recomputed from the merged flow table.
+_FLOW_KEYS = frozenset({"flows", "mean_active_paths", "max_active_paths"})
+
+
+class MergeError(RuntimeError):
+    """The per-shard logs do not describe one serial execution."""
+
+
+@dataclass
+class ShardResult:
+    """What one shard ships back to the coordinator when it finishes."""
+
+    shard_id: int
+    events_executed: int
+    handoffs_out: int
+    counters: dict
+    contention: dict
+    policy_stats: dict
+    #: final active-path count per flow key; None for flow-less policies.
+    flow_actives: Optional[dict]
+    #: verify mode only; None in plain run mode.
+    setup_log: Optional[list] = None
+    pop_log: Optional[list] = None
+
+
+def collect_result(ctx) -> ShardResult:
+    """Package a finished :class:`~repro.shard.scenarios.ShardContext`."""
+    fabric = ctx.fabric
+    policy = ctx.policy_obj
+    flow_actives = None
+    if hasattr(policy, "flows"):
+        flow_actives = {
+            key: fs.metapath.active_count for key, fs in policy.flows.items()
+        }
+    return ShardResult(
+        shard_id=ctx.shard_id,
+        events_executed=ctx.sim.events_executed,
+        handoffs_out=fabric.handoffs_out,
+        counters={name: getattr(fabric, name) for name in COUNTER_NAMES},
+        contention=dict(fabric.contention_map()),
+        policy_stats=dict(policy.stats()),
+        flow_actives=flow_actives,
+        setup_log=ctx.sim.setup_log,
+        pop_log=ctx.sim.pop_log,
+    )
+
+
+class _MergedFabricView:
+    """Duck-typed stand-in for ``digest_metrics``'s fabric argument."""
+
+    def __init__(self, counters: dict, contention: dict) -> None:
+        for name, value in counters.items():
+            setattr(self, name, value)
+        self._contention = contention
+
+    def contention_map(self) -> dict:
+        return self._contention
+
+
+class _MergedPolicyView:
+    """Duck-typed stand-in for ``digest_metrics``'s policy argument."""
+
+    def __init__(self, stats: dict) -> None:
+        self._stats = stats
+
+    def stats(self) -> dict:
+        return self._stats
+
+
+class _DeliveredPacket:
+    """All ``StatsRecorder.on_data_delivered`` reads is ``packet.dst``."""
+
+    __slots__ = ("dst",)
+
+    def __init__(self, dst: int) -> None:
+        self.dst = dst
+
+
+def _feed_digest(trace: EventTraceDigest, time: float, prio: int, seq: int, label: str) -> None:
+    """One event record, exactly as ``EventTraceDigest.update`` packs it."""
+    trace.events += 1
+    buffer = trace._buffer
+    buffer += struct.pack("<dii", time, prio, seq)
+    buffer += label.encode("utf-8")
+    if trace.events % _DIGEST_BLOCK_EVENTS == 0:
+        trace._chain = hashlib.sha256(trace._chain + buffer).digest()
+        del buffer[:]
+
+
+def _merge_policy_stats(results: list[ShardResult], flow_order: list, actives: dict) -> dict:
+    reference = results[0].policy_stats
+    merged: dict = {}
+    for key, ref_value in reference.items():
+        if key in _IDENTITY_KEYS:
+            for result in results[1:]:
+                if result.policy_stats[key] != ref_value:
+                    raise MergeError(
+                        f"policy stat {key!r} differs across shards: "
+                        f"{ref_value!r} vs {result.policy_stats[key]!r}"
+                    )
+            merged[key] = ref_value
+        elif key in _FLOW_KEYS:
+            continue  # recomputed below from the merged flow table
+        else:
+            merged[key] = sum(result.policy_stats[key] for result in results)
+    if _FLOW_KEYS & reference.keys():
+        if len(flow_order) != len(actives):
+            raise MergeError(
+                f"{len(actives)} flows exist but {len(flow_order)} creation "
+                "annotations were merged; a shard ran without verify mode?"
+            )
+        active = [actives[key] for key in flow_order]
+        merged["flows"] = len(actives)
+        merged["mean_active_paths"] = float(np.mean(active)) if active else 1.0
+        merged["max_active_paths"] = max(active) if active else 1
+    return merged
+
+
+@dataclass
+class MergedRun:
+    """The reconstructed serial run, ready to compare against the oracle."""
+
+    events: int
+    trace_digest: str
+    metrics_digest: str
+    counters: dict
+    policy_stats: dict
+    recorder: StatsRecorder
+
+
+def merge_results(spec, results: list[ShardResult], t_end: float) -> MergedRun:
+    """Merge verify-mode shard results into the serial run's digests.
+
+    ``t_end`` is the run horizon (``spec.until()``): calendar entries
+    past it were scheduled but never executed, matching the serial
+    ``run(until=t_end)`` leaving them pending.
+    """
+    results = sorted(results, key=lambda r: r.shard_id)
+    if not results:
+        raise MergeError("no shard results to merge")
+    for result in results:
+        if result.setup_log is None or result.pop_log is None:
+            raise MergeError(f"shard {result.shard_id} ran without verify logs")
+    setup_log = results[0].setup_log
+    for result in results[1:]:
+        if result.setup_log != setup_log:
+            raise MergeError(
+                f"setup logs diverge between shard {results[0].shard_id} and "
+                f"shard {result.shard_id}; the workload setup is not a pure "
+                "function of the spec"
+            )
+
+    # ------------------------------------------------------------------
+    # Serial-calendar replay.
+    # ------------------------------------------------------------------
+    pop_logs = {result.shard_id: result.pop_log for result in results}
+    cursors = {result.shard_id: 0 for result in results}
+    calendar: list[tuple[float, int, int, int]] = []
+    for seq, (time, prio, owner, _label) in enumerate(setup_log):
+        calendar.append((time, prio, seq, owner))
+    heapq.heapify(calendar)
+    next_seq = len(setup_log)
+
+    trace = EventTraceDigest()
+    recorder = StatsRecorder(window_s=spec.window_s)
+    flow_order: list = []
+    merged_events = 0
+    while calendar:
+        time, prio, seq, shard = heapq.heappop(calendar)
+        if time > t_end:
+            # Pending at the horizon: consumed a seq, never executed.
+            continue
+        log = pop_logs.get(shard)
+        cursor = cursors.get(shard, 0)
+        if log is None or cursor >= len(log):
+            raise MergeError(
+                f"calendar expects a pop on shard {shard} at t={time!r} but "
+                "its log is exhausted"
+            )
+        record = log[cursor]
+        cursors[shard] = cursor + 1
+        if record[REC_TIME] != time or record[REC_PRIO] != prio:
+            raise MergeError(
+                f"divergence on shard {shard} at pop #{cursor}: calendar says "
+                f"(t={time!r}, p={prio}), shard executed "
+                f"(t={record[REC_TIME]!r}, p={record[REC_PRIO]}, "
+                f"{record[REC_LABEL]})"
+            )
+        _feed_digest(trace, time, prio, seq, record[REC_LABEL])
+        merged_events += 1
+        for child_time, child_prio, child_shard in record[REC_CHILDREN]:
+            heapq.heappush(calendar, (child_time, child_prio, next_seq, child_shard))
+            next_seq += 1
+        for note in record[REC_NOTES]:
+            kind = note[0]
+            if kind == "deliv":
+                _kind, dst, latency_s, now = note
+                recorder.on_data_delivered(_DeliveredPacket(dst), latency_s, now)
+            elif kind == "flow":
+                flow_order.append(note[1])
+    for result in results:
+        leftover = len(result.pop_log) - cursors[result.shard_id]
+        if leftover:
+            raise MergeError(
+                f"shard {result.shard_id} executed {leftover} pops the merged "
+                "calendar never scheduled"
+            )
+
+    # ------------------------------------------------------------------
+    # Metric views.
+    # ------------------------------------------------------------------
+    counters = {
+        name: sum(result.counters[name] for result in results)
+        for name in COUNTER_NAMES
+    }
+    contention: dict = {}
+    for result in results:
+        overlap = contention.keys() & result.contention.keys()
+        if overlap:
+            raise MergeError(
+                f"routers {sorted(overlap)} forwarded packets on more than "
+                "one shard; the partition is not a partition"
+            )
+        contention.update(result.contention)
+    actives: dict = {}
+    for result in results:
+        if result.flow_actives:
+            actives.update(result.flow_actives)
+    policy_stats = _merge_policy_stats(results, flow_order, actives)
+    metrics_digest = digest_metrics(
+        _MergedFabricView(counters, contention),
+        recorder,
+        _MergedPolicyView(policy_stats),
+    )
+    return MergedRun(
+        events=merged_events,
+        trace_digest=trace.hexdigest(),
+        metrics_digest=metrics_digest,
+        counters=counters,
+        policy_stats=policy_stats,
+        recorder=recorder,
+    )

@@ -1,0 +1,53 @@
+"""Cross-shard wire protocol: handoffs and the payload whitelist.
+
+Everything that crosses a process boundary at a window barrier is listed
+in :data:`HANDOFF_PAYLOAD_TYPES` and must be a Snapshottable-declared
+class — serialization then flows through the explicit snapshot protocol
+(``Snapshottable.__reduce_ex__``), never through ad-hoc ``__dict__``
+pickling, closures, or lambdas.  The ``shard-safety`` contract pass
+(:mod:`repro.analysis.contracts.shardsafe`) statically cross-checks this
+registry, and :func:`check_handoff_payload` enforces it at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.packet import Packet
+from repro.shard.rank import Rank
+
+__all__ = ["HANDOFF_PAYLOAD_TYPES", "Handoff", "check_handoff_payload"]
+
+#: the only classes allowed inside a cross-shard handoff payload.  The
+#: shard-safety contract pass verifies each is Snapshottable-declared.
+HANDOFF_PAYLOAD_TYPES = (Packet, Rank)
+
+
+@dataclass
+class Handoff:
+    """One cross-shard arrival: ``fabric._arrive(packet)`` at ``time``.
+
+    ``rank`` was allocated by the *sending* shard in scheduling-call
+    order, so the receiver's calendar orders the arrival exactly where
+    the serial calendar would have (docs/sharding.md, merge-order rule).
+    """
+
+    time: float
+    priority: int
+    rank: Rank
+    dest_shard: int
+    packet: Packet
+
+    def __post_init__(self) -> None:
+        check_handoff_payload(self)
+
+
+def check_handoff_payload(handoff: "Handoff") -> None:
+    """Refuse a handoff whose payload bypasses the Snapshottable protocol."""
+    for value in (handoff.packet, handoff.rank):
+        if not isinstance(value, HANDOFF_PAYLOAD_TYPES):
+            raise TypeError(
+                f"handoff payload {type(value).__name__} is not one of the "
+                "declared HANDOFF_PAYLOAD_TYPES; only Snapshottable-declared "
+                "classes may cross a shard boundary (docs/sharding.md)"
+            )

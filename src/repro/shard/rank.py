@@ -1,0 +1,225 @@
+"""Deterministic cross-shard event ordering (docs/sharding.md).
+
+The serial engine breaks ``(time, priority)`` ties with a global integer
+sequence assigned at *scheduling* time.  Shards cannot share that
+counter without serializing, so sharded events carry a :class:`Rank` in
+the sequence slot instead — a key that compares in exactly the order the
+serial counter would have imposed, computable from information each
+shard has locally:
+
+* every event is scheduled either during **setup** (all shards replay
+  the full workload setup and count every root operation with one global
+  counter — ranks compare by that counter), or from inside the callback
+  of some **parent** event;
+* the serial counter orders execution-born operations lexicographically
+  by (parent's execution order, index among the parent's children),
+  because children are assigned sequence numbers inside their parent's
+  callback, in call order;
+* a parent's execution order is its pop key ``(time, priority, rank)``
+  — so comparing two ranks means comparing their parents' pop keys,
+  recursing on the parents' *ranks* only when both time and priority
+  tie.
+
+Two shortcuts keep the recursion cheap and the memory bounded:
+
+* ranks born on the same shard compare by a per-shard counter — a
+  shard's local execution order is order-isomorphic to the serial
+  projection (the conservative window protocol guarantees it), so the
+  local scheduling order already matches the serial one;
+* each rank stores its parent's (origin, counter) scalars, so parents
+  that tie on (time, priority) but share an origin also resolve without
+  touching the parent object.  Only a cross-origin parent tie needs the
+  parent's full rank, so the parent reference chain is cut every
+  :data:`MAX_PARENT_DEPTH` generations.
+
+Symmetric workloads (two hosts injecting identical schedules on
+different shards) produce parallel chains whose ancestors tie on
+(time, priority) at *every* generation — deeper than any retained
+chain.  For those, every rank also carries two O(1) scalars: the setup
+counter of its founding root and a ``spine`` hash folding the
+(parent_time, parent_prio) pop keys from the root down.  Equal spines
+certify (up to hash collision) that the two ancestries tie at every
+generation with equal depth, in which case the serial counter's order
+is, by induction over generations, exactly the setup-root order — so
+the tie resolves from the scalars alone.  Only a tie that is both
+beyond the retained ancestry *and* spine-divergent (or same-root
+symmetric) raises :class:`AmbiguousTieError` — loud instead of
+silently nondeterministic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import ClassVar, Optional
+
+from repro.checkpoint.state import Snapshottable
+
+__all__ = ["SETUP_ORIGIN", "MAX_PARENT_DEPTH", "AmbiguousTieError", "Rank"]
+
+_PACK_F64 = struct.Struct("<d").pack
+_UNPACK_U64 = struct.Struct("<Q").unpack
+_FNV_PRIME = 0x100000001B3
+_SPINE_MASK = (1 << 64) - 1
+
+
+def _fold_spine(spine: int, time: float, prio: int) -> int:
+    """FNV-1a fold of a pop key into an ancestry spine.
+
+    Explicit arithmetic over the exact float bits — unlike builtin
+    ``hash()`` there is no per-process salt, so spines computed on
+    different shard processes are comparable.
+    """
+    (bits,) = _UNPACK_U64(_PACK_F64(time))
+    spine = ((spine ^ bits) * _FNV_PRIME) & _SPINE_MASK
+    return ((spine ^ (prio & _SPINE_MASK)) * _FNV_PRIME) & _SPINE_MASK
+
+#: pseudo shard id of setup-born ranks; sorts before every real shard.
+SETUP_ORIGIN = -1
+
+#: parent-reference chains are cut after this many generations.  A chain
+#: cannot be older than the run, so any value above run_length /
+#: min_reschedule_period retains every resolvable ancestry; the pinned
+#: scenarios peak around 1700 generations (mesh:32 pipelines at the
+#: packet tx period).  Memory stays modest because pending events on one
+#: pipeline share their ancestor chain.
+MAX_PARENT_DEPTH = 4096
+
+
+class AmbiguousTieError(RuntimeError):
+    """Two events tie beyond the retained ancestry — refuse to guess."""
+
+
+class Rank(Snapshottable):
+    """Total-order key standing in for the serial sequence number."""
+
+    _snapshot_fields_: ClassVar[tuple[str, ...]] = (
+        "origin",
+        "counter",
+        "parent_time",
+        "parent_prio",
+        "parent_origin",
+        "parent_counter",
+        "parent",
+        "depth",
+        "root_counter",
+        "spine",
+    )
+
+    __slots__ = (
+        "origin",
+        "counter",
+        "parent_time",
+        "parent_prio",
+        "parent_origin",
+        "parent_counter",
+        "parent",
+        "depth",
+        "root_counter",
+        "spine",
+    )
+
+    def __init__(
+        self,
+        origin: int,
+        counter: int,
+        parent_time: float = 0.0,
+        parent_prio: int = 0,
+        parent_origin: int = SETUP_ORIGIN,
+        parent_counter: int = -1,
+        parent: Optional["Rank"] = None,
+        depth: int = 0,
+        root_counter: int = -1,
+        spine: int = 0,
+    ) -> None:
+        self.origin = origin
+        self.counter = counter
+        self.parent_time = parent_time
+        self.parent_prio = parent_prio
+        self.parent_origin = parent_origin
+        self.parent_counter = parent_counter
+        self.parent = parent
+        self.depth = depth
+        self.root_counter = root_counter
+        self.spine = spine
+
+    @classmethod
+    def setup(cls, counter: int) -> "Rank":
+        """A setup-born rank: compares by the global setup counter."""
+        return cls(SETUP_ORIGIN, counter, root_counter=counter)
+
+    @classmethod
+    def child_of(cls, parent: "Rank", time: float, prio: int, origin: int, counter: int) -> "Rank":
+        """A rank born inside ``parent``'s callback, popped at (time, prio).
+
+        ``counter`` is the per-origin operation counter; the caller
+        guarantees it increments in scheduling-call order.
+        """
+        depth = parent.depth + 1
+        keep = parent if depth <= MAX_PARENT_DEPTH else None
+        return cls(
+            origin,
+            counter,
+            parent_time=time,
+            parent_prio=prio,
+            parent_origin=parent.origin,
+            parent_counter=parent.counter,
+            parent=keep,
+            depth=depth if keep is not None else 0,
+            root_counter=parent.root_counter,
+            spine=_fold_spine(parent.spine, time, prio),
+        )
+
+    # ------------------------------------------------------------------
+    def _cmp(self, other: "Rank") -> int:
+        if self is other:
+            return 0
+        if self.origin == other.origin:
+            # Same shard (or both setup): the local counter is exact.
+            return -1 if self.counter < other.counter else 1
+        if self.origin == SETUP_ORIGIN:
+            return -1  # all setup operations precede all execution-born ones
+        if other.origin == SETUP_ORIGIN:
+            return 1
+        # Cross-origin: order by the parents' pop keys.
+        if self.parent_time != other.parent_time:
+            return -1 if self.parent_time < other.parent_time else 1
+        if self.parent_prio != other.parent_prio:
+            return -1 if self.parent_prio < other.parent_prio else 1
+        if self.parent_origin == other.parent_origin:
+            if self.parent_counter == other.parent_counter:
+                # Same parent pop, children alloc'd on different shards —
+                # impossible: one pop executes on exactly one shard.
+                raise AmbiguousTieError(
+                    "two ranks claim the same parent from different origins"
+                )
+            return -1 if self.parent_counter < other.parent_counter else 1
+        if self.parent is None or other.parent is None:
+            # Beyond the retained ancestry.  Equal spines certify the two
+            # ancestries tie on (time, priority) at every generation down
+            # to their setup roots, where the global setup counter is the
+            # serial order (see module docstring).
+            if self.spine == other.spine and self.root_counter != other.root_counter:
+                return -1 if self.root_counter < other.root_counter else 1
+            raise AmbiguousTieError(
+                "cross-origin (time, priority) tie beyond the retained "
+                f"ancestry (depth cut {MAX_PARENT_DEPTH}) with divergent "
+                "spines; cannot order deterministically"
+            )
+        return self.parent._cmp(other.parent)
+
+    def __lt__(self, other: "Rank") -> bool:
+        return self._cmp(other) < 0
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.origin == SETUP_ORIGIN:
+            return f"<Rank setup#{self.counter}>"
+        return (
+            f"<Rank s{self.origin}#{self.counter} "
+            f"parent=(t={self.parent_time!r}, p={self.parent_prio}, "
+            f"s{self.parent_origin}#{self.parent_counter})>"
+        )

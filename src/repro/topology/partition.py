@@ -1,0 +1,193 @@
+"""Topology partitioning for space-parallel (sharded) simulation.
+
+A :class:`PartitionPlan` assigns every router (and, through
+``host_router``, every host) of a :class:`~repro.topology.base.Topology`
+to one of ``num_shards`` shards and enumerates the **edge cut**: the
+router-to-router links whose endpoints live on different shards.  The
+sharded runtime (:mod:`repro.shard`) uses the plan to decide which
+next-hop schedules stay local and which become cross-process handoffs,
+and derives its conservative lookahead from the minimum latency of the
+cut links (docs/sharding.md).
+
+Two partitioners:
+
+* :func:`partition_topology` — deterministic recursive bisection over
+  the router adjacency (BFS orders from the lowest-id router of each
+  block, so equal inputs always produce equal plans);
+* a dragonfly specialization that assigns whole *groups* to shards.
+  Keeping a group on one shard keeps the notified-adaptive policy's
+  (source zone, destination zone) escalation state shard-local and puts
+  only global links on the cut.
+
+Both guarantee the properties the Hypothesis suite pins down: shard
+router sets are disjoint and exhaustive, and every topology link is
+either shard-internal or appears exactly once in the cut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.topology.base import Topology
+
+__all__ = ["PartitionError", "PartitionPlan", "partition_topology"]
+
+
+class PartitionError(ValueError):
+    """An unusable partition request (bad K, disconnected block, ...)."""
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Router/host -> shard assignment plus the derived edge cut."""
+
+    num_shards: int
+    #: router id -> shard id, dense over ``range(num_routers)``.
+    shard_of_router: tuple[int, ...]
+    #: per-shard sorted router ids (disjoint, exhaustive).
+    routers_by_shard: tuple[tuple[int, ...], ...] = field(compare=False)
+    #: sorted ``(a, b)`` with ``a < b`` and differing shards; each
+    #: undirected cross-shard link appears exactly once.
+    cut_links: tuple[tuple[int, int], ...] = field(compare=False)
+
+    @classmethod
+    def from_assignment(
+        cls, topology: Topology, shard_of_router: Sequence[int]
+    ) -> "PartitionPlan":
+        """Derive the per-shard sets and edge cut from an assignment."""
+        assignment = tuple(int(s) for s in shard_of_router)
+        if len(assignment) != topology.num_routers:
+            raise PartitionError(
+                f"assignment covers {len(assignment)} routers, topology has "
+                f"{topology.num_routers}"
+            )
+        num_shards = max(assignment) + 1 if assignment else 0
+        by_shard: list[list[int]] = [[] for _ in range(num_shards)]
+        for router, shard in enumerate(assignment):
+            if not 0 <= shard < num_shards:
+                raise PartitionError(f"router {router} assigned to shard {shard}")
+            by_shard[shard].append(router)
+        empty = [s for s, routers in enumerate(by_shard) if not routers]
+        if empty:
+            raise PartitionError(f"shard(s) {empty} own no routers")
+        cut = []
+        for a in range(topology.num_routers):
+            for b in topology.router_neighbors(a):
+                if a < b and assignment[a] != assignment[b]:
+                    cut.append((a, b))
+        return cls(
+            num_shards=num_shards,
+            shard_of_router=assignment,
+            routers_by_shard=tuple(tuple(r) for r in by_shard),
+            cut_links=tuple(sorted(cut)),
+        )
+
+    # ------------------------------------------------------------------
+    def shard_of_host(self, topology: Topology, host: int) -> int:
+        """Hosts follow their router: the NIC link never crosses a cut."""
+        return self.shard_of_router[topology.host_router(host)]
+
+    def hosts_by_shard(self, topology: Topology) -> tuple[tuple[int, ...], ...]:
+        out: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for host in range(topology.num_hosts):
+            out[self.shard_of_host(topology, host)].append(host)
+        return tuple(tuple(h) for h in out)
+
+    def validate(self, topology: Topology) -> None:
+        """Re-derive everything and fail loudly on any inconsistency."""
+        rebuilt = PartitionPlan.from_assignment(topology, self.shard_of_router)
+        if rebuilt.routers_by_shard != self.routers_by_shard:
+            raise PartitionError("per-shard router sets diverge from assignment")
+        if rebuilt.cut_links != self.cut_links:
+            raise PartitionError("edge cut diverges from assignment")
+        covered = sorted(r for shard in self.routers_by_shard for r in shard)
+        if covered != list(range(topology.num_routers)):
+            raise PartitionError("shard router sets are not a partition")
+
+
+# ----------------------------------------------------------------------
+# Recursive bisection (generic topologies)
+# ----------------------------------------------------------------------
+def _bfs_order(routers: list[int], neighbors) -> list[int]:
+    """Deterministic BFS over ``routers`` (lowest id seeds each component)."""
+    members = set(routers)
+    seen: set[int] = set()
+    order: list[int] = []
+    for seed in routers:  # routers is sorted; later seeds catch components
+        if seed in seen:
+            continue
+        seen.add(seed)
+        queue = deque([seed])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for peer in neighbors(current):
+                if peer in members and peer not in seen:
+                    seen.add(peer)
+                    queue.append(peer)
+    return order
+
+
+def _bisect(routers: list[int], shards: int, neighbors) -> list[list[int]]:
+    """Split ``routers`` into ``shards`` contiguous-ish blocks recursively."""
+    if shards == 1:
+        return [sorted(routers)]
+    left_shards = shards // 2
+    order = _bfs_order(sorted(routers), neighbors)
+    split = round(len(order) * left_shards / shards)
+    split = min(max(split, 1), len(order) - 1)
+    left, right = order[:split], order[split:]
+    return _bisect(left, left_shards, neighbors) + _bisect(
+        right, shards - left_shards, neighbors
+    )
+
+
+def _partition_generic(topology: Topology, num_shards: int) -> PartitionPlan:
+    blocks = _bisect(
+        list(range(topology.num_routers)), num_shards, topology.router_neighbors
+    )
+    assignment = [0] * topology.num_routers
+    for shard, block in enumerate(blocks):
+        for router in block:
+            assignment[router] = shard
+    return PartitionPlan.from_assignment(topology, assignment)
+
+
+# ----------------------------------------------------------------------
+# Dragonfly specialization (whole groups per shard)
+# ----------------------------------------------------------------------
+def _partition_dragonfly(topology, num_shards: int) -> PartitionPlan:
+    groups = int(topology.num_groups)
+    if groups < num_shards:
+        raise PartitionError(
+            f"dragonfly has {groups} groups, cannot keep groups whole over "
+            f"{num_shards} shards"
+        )
+    # Contiguous balanced blocks of group ids: group g -> shard via the
+    # same rounding rule everywhere, so every process derives the same
+    # plan without communicating.
+    assignment = [0] * topology.num_routers
+    for router in range(topology.num_routers):
+        group = topology.group_of(router)
+        assignment[router] = min(group * num_shards // groups, num_shards - 1)
+    return PartitionPlan.from_assignment(topology, assignment)
+
+
+def partition_topology(topology: Topology, num_shards: int) -> PartitionPlan:
+    """Partition ``topology`` into ``num_shards`` shards, deterministically.
+
+    Dragonflies are split group-wise (the escalation zone of the notified
+    policy family stays shard-local); everything else goes through
+    recursive bisection over the router adjacency.
+    """
+    if num_shards < 1:
+        raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > topology.num_routers:
+        raise PartitionError(
+            f"cannot split {topology.num_routers} routers into {num_shards} shards"
+        )
+    if hasattr(topology, "group_of") and hasattr(topology, "num_groups"):
+        return _partition_dragonfly(topology, num_shards)
+    return _partition_generic(topology, num_shards)

@@ -1,0 +1,172 @@
+"""Fixture tests for the ``shard-safety`` contract pass.
+
+Each fixture plants one way a cross-shard handoff can smuggle
+non-snapshot state between processes — a payload whitelist entry that is
+not Snapshottable-declared (or not even a class name), a lambda handed
+to ``Handoff``/``apply_arrival``/``alloc_handoff_rank`` — plus the
+clean shapes that must stay silent (Snapshottable subclasses, named
+methods, unrelated lambdas).
+"""
+
+import textwrap
+
+from repro.analysis.contracts import analyze_paths
+
+from tests.test_analysis_contracts import findings, write_pkg
+
+PASSES = ["shard-safety"]
+
+SNAP_BASE = """
+    from typing import ClassVar
+
+    class Snapshottable:
+        __slots__ = ()
+        _snapshot_fields_: ClassVar[tuple] = ()
+        _snapshot_exclude_: ClassVar[tuple] = ()
+
+    class Packet(Snapshottable):
+        __slots__ = ()
+
+    class Bare:
+        pass
+    """
+
+
+def shard_findings(tmp_path, body):
+    return findings(
+        tmp_path,
+        {
+            "state.py": SNAP_BASE,
+            "mod.py": "from pkg.state import Snapshottable, Packet, Bare\n"
+            + textwrap.dedent(body),
+        },
+        passes=PASSES,
+    )
+
+
+def test_snapshottable_payloads_are_clean(tmp_path):
+    assert not shard_findings(
+        tmp_path,
+        """
+        class Rank(Snapshottable):
+            __slots__ = ()
+
+        HANDOFF_PAYLOAD_TYPES = (Packet, Rank)
+        """,
+    )
+
+
+def test_non_snapshottable_payload_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        HANDOFF_PAYLOAD_TYPES = (Packet, Bare)
+        """,
+    )
+    assert len(hits) == 1
+    assert "`Bare`" in hits[0].message and "Snapshottable" in hits[0].message
+
+
+def test_unresolvable_payload_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        HANDOFF_PAYLOAD_TYPES = (Packet, Ghost)
+        """,
+    )
+    assert len(hits) == 1
+    assert "`Ghost`" in hits[0].message and "does not resolve" in hits[0].message
+
+
+def test_non_name_payload_entry_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        def make():
+            return Packet
+
+        HANDOFF_PAYLOAD_TYPES = (make(),)
+        """,
+    )
+    assert len(hits) == 1
+    assert "not a plain class name" in hits[0].message
+
+
+def test_computed_registry_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        EXTRA = (Packet,)
+        HANDOFF_PAYLOAD_TYPES = EXTRA
+        """,
+    )
+    assert len(hits) == 1
+    assert "literal tuple" in hits[0].message
+
+
+def test_lambda_into_handoff_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        def ship(h):
+            return Handoff(0.0, 0, lambda p: p, payload=None)
+        """,
+    )
+    assert len(hits) == 1
+    assert "Handoff()" in hits[0].message and "lambda" in hits[0].message
+
+
+def test_lambda_into_apply_arrival_flagged(tmp_path):
+    hits = shard_findings(
+        tmp_path,
+        """
+        def deliver(sim, h):
+            sim.apply_arrival(h.time, h.priority, h.rank, fn=lambda: None)
+        """,
+    )
+    assert len(hits) == 1
+    assert "apply_arrival()" in hits[0].message
+
+
+def test_named_method_handoff_is_clean(tmp_path):
+    assert not shard_findings(
+        tmp_path,
+        """
+        def deliver(sim, fabric, h):
+            sim.apply_arrival(h.time, h.priority, h.rank, fabric.arrive, (h.packet,))
+
+        def unrelated():
+            return sorted([3, 1], key=lambda x: -x)
+        """,
+    )
+
+
+def test_pragma_suppresses(tmp_path):
+    root = write_pkg(
+        tmp_path,
+        {
+            "state.py": SNAP_BASE,
+            "mod.py": textwrap.dedent(
+                """
+                from pkg.state import Bare
+
+                HANDOFF_PAYLOAD_TYPES = (
+                    Bare,  # repro: allow(shard-safety)
+                )
+                """
+            ),
+        },
+    )
+    report = analyze_paths([str(root)], passes=PASSES)
+    assert not report.findings
+    assert len(report.suppressed) == 1
+
+
+def test_real_tree_is_clean():
+    """src/repro itself — including the live HANDOFF_PAYLOAD_TYPES in
+    repro.shard.protocol — must stay at zero shard-safety findings."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    report = analyze_paths([str(src)], passes=PASSES)
+    assert [f.message for f in report.findings] == []

@@ -1,0 +1,102 @@
+"""Property-based tests of the shard partitioner (hypothesis).
+
+The sharded runtime's correctness argument (docs/sharding.md) leans on
+two structural guarantees of :func:`partition_topology`: the per-shard
+router sets form a true partition (disjoint and exhaustive), and every
+router-to-router link is either shard-internal or appears in the edge
+cut exactly once, normalized as ``(a, b)`` with ``a < b``.  A link that
+appeared twice would be handed off twice; one that appeared zero times
+would silently drop a cross-shard packet.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.mesh import Mesh2D, Torus2D
+from repro.topology.partition import PartitionError, partition_topology
+
+import pytest
+
+mesh_dims = st.tuples(st.integers(2, 8), st.integers(2, 8))
+dragonfly_dims = st.tuples(st.integers(2, 4), st.integers(1, 3), st.integers(1, 3))
+
+
+def assert_plan_invariants(topology, plan):
+    # Disjoint and exhaustive router sets.
+    covered = [r for shard in plan.routers_by_shard for r in shard]
+    assert sorted(covered) == list(range(topology.num_routers))
+    assert len(set(covered)) == len(covered)
+    assert all(shard for shard in plan.routers_by_shard)  # no empty shard
+    for shard, routers in enumerate(plan.routers_by_shard):
+        assert all(plan.shard_of_router[r] == shard for r in routers)
+
+    # Every undirected link is internal xor in the cut, exactly once.
+    cut = set(plan.cut_links)
+    assert len(cut) == len(plan.cut_links)  # no duplicates
+    seen_links = set()
+    for a in range(topology.num_routers):
+        for b in topology.router_neighbors(a):
+            link = (min(a, b), max(a, b))
+            seen_links.add(link)
+            crosses = plan.shard_of_router[a] != plan.shard_of_router[b]
+            assert (link in cut) == crosses
+    assert cut <= seen_links  # nothing in the cut that is not a real link
+
+    # Hosts follow their router; host sets partition the host range.
+    hosts = [h for shard in plan.hosts_by_shard(topology) for h in shard]
+    assert sorted(hosts) == list(range(topology.num_hosts))
+
+    # The plan's own validator agrees.
+    plan.validate(topology)
+
+
+@settings(deadline=None)
+@given(mesh_dims, st.integers(1, 6))
+def test_mesh_partition_invariants(dims, num_shards):
+    mesh = Mesh2D(*dims)
+    if num_shards > mesh.num_routers:
+        with pytest.raises(PartitionError):
+            partition_topology(mesh, num_shards)
+        return
+    assert_plan_invariants(mesh, partition_topology(mesh, num_shards))
+
+
+@settings(deadline=None)
+@given(mesh_dims, st.integers(1, 6))
+def test_torus_partition_invariants(dims, num_shards):
+    torus = Torus2D(*dims)
+    if num_shards > torus.num_routers:
+        with pytest.raises(PartitionError):
+            partition_topology(torus, num_shards)
+        return
+    assert_plan_invariants(torus, partition_topology(torus, num_shards))
+
+
+@settings(deadline=None)
+@given(dragonfly_dims, st.integers(1, 4))
+def test_dragonfly_partition_invariants(dims, num_shards):
+    df = Dragonfly(*dims)
+    if num_shards > df.num_groups:
+        with pytest.raises(PartitionError):
+            partition_topology(df, num_shards)
+        return
+    plan = partition_topology(df, num_shards)
+    assert_plan_invariants(df, plan)
+    # The specialization keeps whole groups on one shard, so only global
+    # links may cross the cut.
+    shard_of_group = {}
+    for router in range(df.num_routers):
+        group = df.group_of(router)
+        shard = shard_of_group.setdefault(group, plan.shard_of_router[router])
+        assert plan.shard_of_router[router] == shard
+
+
+@settings(deadline=None)
+@given(mesh_dims)
+def test_partition_is_deterministic(dims):
+    mesh = Mesh2D(*dims)
+    shards = min(4, mesh.num_routers)
+    first = partition_topology(mesh, shards)
+    second = partition_topology(mesh, shards)
+    assert first.shard_of_router == second.shard_of_router
+    assert first.cut_links == second.cut_links
