@@ -270,6 +270,8 @@ def _build(
     track_routers: bool,
     policy_kwargs: dict,
     tracer=None,
+    metrics=None,
+    metrics_cadence_s=None,
 ) -> tuple[Fabric, StatsRecorder, Simulator]:
     sim = Simulator()
     recorder = StatsRecorder(window_s=window_s, track_router_series=track_routers)
@@ -281,10 +283,10 @@ def _build(
         recorder=recorder,
         notification=notification,
     )
-    if tracer is not None:
+    if tracer is not None or metrics is not None:
         from repro.obs import instrument
 
-        instrument(fabric, tracer)
+        instrument(fabric, tracer, metrics=metrics, cadence_s=metrics_cadence_s)
     return fabric, recorder, sim
 
 
@@ -306,6 +308,8 @@ def run_pattern_workload(
     policy_kwargs: Optional[dict] = None,
     executor=None,
     tracer=None,
+    metrics=None,
+    metrics_cadence_s=None,
 ) -> dict[str, PolicyRun]:
     """Permutation-traffic comparison (§4.6.3, Table 4.3 runs).
 
@@ -313,7 +317,18 @@ def run_pattern_workload(
     policy x seed grid out to worker processes; results are bit-identical
     to the serial loop.  Requires ``topology_factory`` to be a spec
     string like ``"fattree:4,3"``.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is wired
+    into every serial cell via :func:`repro.obs.instrument`; with
+    ``metrics_cadence_s`` it also snapshots on that sim-time cadence.
+    Registries hold live callables, so they are serial-only: combining
+    ``metrics`` with ``executor`` raises.
     """
+    if metrics is not None and executor is not None:
+        raise ValueError(
+            "metrics registries cannot cross the process boundary; "
+            "drop executor= or attach metrics via the sweep's metrics_hook"
+        )
     if executor is not None and len(policies) * len(seeds) > 1:
         return _parallel_policy_sweep(
             executor, "pattern", topology_factory, policies, seeds,
@@ -339,6 +354,7 @@ def run_pattern_workload(
             fabric, recorder, sim = _build(
                 topology_factory, name, config, notification,
                 window_s, track_routers, policy_kwargs or {}, tracer=tracer,
+                metrics=metrics, metrics_cadence_s=metrics_cadence_s,
             )
             streams = RandomStreams(seed)
             host_list = list(hosts) if hosts is not None else list(
@@ -377,6 +393,8 @@ def run_hotspot_workload(
     policy_kwargs: Optional[dict] = None,
     executor=None,
     tracer=None,
+    metrics=None,
+    metrics_cadence_s=None,
 ) -> dict[str, PolicyRun]:
     """Hot-spot specific-pattern comparison (§4.5, §4.6.2).
 
@@ -384,10 +402,18 @@ def run_hotspot_workload(
     policy x seed grid out to worker processes; results are bit-identical
     to the serial loop.  Requires ``topology_factory`` to be a spec
     string like ``"mesh:8"``.
+
+    ``metrics`` / ``metrics_cadence_s`` behave as in
+    :func:`run_pattern_workload`: serial-only, observation-only.
     """
     stop = schedule.end_time()
     if stop is None:
         raise ValueError("hot-spot schedule must be bounded (set repetitions)")
+    if metrics is not None and executor is not None:
+        raise ValueError(
+            "metrics registries cannot cross the process boundary; "
+            "drop executor= or attach metrics via the sweep's metrics_hook"
+        )
     if executor is not None and len(policies) * len(seeds) > 1:
         return _parallel_policy_sweep(
             executor, "hotspot", topology_factory, policies, seeds,
@@ -412,6 +438,7 @@ def run_hotspot_workload(
             fabric, recorder, sim = _build(
                 topology_factory, name, config, notification,
                 window_s, track_routers, policy_kwargs or {}, tracer=tracer,
+                metrics=metrics, metrics_cadence_s=metrics_cadence_s,
             )
             streams = RandomStreams(seed)
             workload = HotSpotWorkload(

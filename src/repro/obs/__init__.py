@@ -19,7 +19,13 @@ identical — observation rides the simulator observer list and schedules
 no events of its own.
 """
 
-from repro.obs.export import to_perfetto, write_perfetto
+from repro.obs.bus import BusSubscription, MetricsBus
+from repro.obs.export import (
+    export_prometheus,
+    registry_from_records,
+    to_perfetto,
+    write_perfetto,
+)
 from repro.obs.instrument import instrument, register_fabric_metrics
 from repro.obs.metrics import Counter, CountingSink, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
@@ -34,19 +40,23 @@ from repro.obs.tracer import (
 
 __all__ = [
     "TRACE_VERSION",
+    "BusSubscription",
     "Counter",
     "CountingSink",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsBus",
     "MetricsRegistry",
     "TraceRecord",
     "Tracer",
     "category",
+    "export_prometheus",
     "instrument",
     "read_trace",
     "register_fabric_metrics",
+    "registry_from_records",
     "to_perfetto",
     "write_perfetto",
 ]

@@ -4,8 +4,11 @@ Subcommands:
 
 * ``summarize PATH`` — event counts, zone transitions, notification and
   prediction statistics (solution-DB hit rate), drop reasons, latency.
-* ``export PATH --format perfetto|jsonl --out OUT`` — convert a JSONL
-  trace for ``ui.perfetto.dev``, or re-emit canonical JSONL.
+* ``export PATH --format perfetto|jsonl|prometheus --out OUT`` — convert
+  a JSONL trace for ``ui.perfetto.dev``, re-emit canonical JSONL, or
+  fold it into Prometheus text-format metrics.
+* ``tail PATH [--name N] [--track T] [--follow]`` — live counterpart of
+  ``summarize``: render records one per line as the file grows.
 * ``diff A B`` — byte-level comparison of two traces modulo the header
   line; exit 1 on any difference.
 * ``record --policy P --out PATH [--perfetto PATH]`` — run the pinned
@@ -21,10 +24,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TextIO
 
-from repro.obs.export import to_perfetto, write_perfetto
+from repro.obs.export import (
+    export_prometheus,
+    registry_from_records,
+    to_perfetto,
+    write_perfetto,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import (
     JsonlSink,
@@ -125,6 +134,93 @@ def _print_summary(summary: dict) -> None:
             f"{delivery['mean_latency_s']:.3e}s, max "
             f"{delivery['max_latency_s']:.3e}s"
         )
+
+
+# ----------------------------------------------------------------------
+# tail
+# ----------------------------------------------------------------------
+def render_record(record: TraceRecord) -> str:
+    """One human-readable line per record (the ``tail`` rendering)."""
+    track = f"{record.track[0]}:{record.track[1]}" if len(record.track) > 1 else str(record.track)
+    parts = [f"[{record.ts * 1e6:12.3f}us]", f"{record.name:<22}", f"{track:<18}"]
+    if record.ph == "X":
+        parts.append(f"dur={record.dur:.3e}s")
+    if record.args:
+        parts.append(" ".join(f"{k}={record.args[k]}" for k in sorted(record.args)))
+    return " ".join(parts).rstrip()
+
+
+def _record_matches(
+    record: TraceRecord,
+    names: Optional[Sequence[str]],
+    tracks: Optional[Sequence[str]],
+) -> bool:
+    if names and record.name not in names:
+        return False
+    if tracks:
+        kind = str(record.track[0])
+        full = f"{record.track[0]}:{record.track[1]}" if len(record.track) > 1 else kind
+        if kind not in tracks and full not in tracks:
+            return False
+    return True
+
+
+def tail_trace(
+    path,
+    names: Optional[Sequence[str]] = None,
+    tracks: Optional[Sequence[str]] = None,
+    follow: bool = False,
+    interval_s: float = 0.2,
+    max_records: Optional[int] = None,
+    idle_timeout_s: Optional[float] = None,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Follow a (possibly still growing) JSONL trace; returns lines printed.
+
+    The live counterpart of ``summarize``: each record renders as one
+    line, filtered by event ``names`` and/or ``tracks`` (a track filter
+    matches either the kind — ``router`` — or the full ``kind:ident``).
+    Without ``follow`` the function returns at end-of-file; with it, the
+    file is polled every ``interval_s`` until ``max_records`` have been
+    printed or ``idle_timeout_s`` passes with no new complete line.
+    This is tooling around a trace *file* — the wall-clock reads below
+    pace the polling loop and never touch a simulation.
+    """
+    stream = out or sys.stdout
+    printed = 0
+    pending = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        idle_since = time.monotonic()  # repro: allow(no-wall-clock)
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                pending += chunk
+                if not pending.endswith("\n"):
+                    # A writer is mid-line; wait for the rest.
+                    continue
+                line, pending = pending.strip(), ""
+                idle_since = time.monotonic()  # repro: allow(no-wall-clock)
+                if not line:
+                    continue
+                obj = json.loads(line)
+                if obj.get("type") == "header":
+                    continue
+                record = TraceRecord.from_json_obj(obj)
+                if not _record_matches(record, names, tracks):
+                    continue
+                print(render_record(record), file=stream)
+                printed += 1
+                if max_records is not None and printed >= max_records:
+                    return printed
+                continue
+            if not follow:
+                return printed
+            if (
+                idle_timeout_s is not None
+                and time.monotonic() - idle_since > idle_timeout_s  # repro: allow(no-wall-clock)
+            ):
+                return printed
+            time.sleep(interval_s)
 
 
 # ----------------------------------------------------------------------
@@ -298,9 +394,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_exp = sub.add_parser("export", help="convert a JSONL trace")
     p_exp.add_argument("trace", type=Path)
     p_exp.add_argument(
-        "--format", choices=("perfetto", "jsonl"), default="perfetto"
+        "--format", choices=("perfetto", "jsonl", "prometheus"), default="perfetto"
     )
     p_exp.add_argument("--out", type=Path, required=True)
+
+    p_tail = sub.add_parser(
+        "tail", help="render trace records live, one line each"
+    )
+    p_tail.add_argument("trace", type=Path)
+    p_tail.add_argument(
+        "--name", action="append", dest="names", default=None,
+        help="only these event names (repeatable, e.g. --name packet.drop)",
+    )
+    p_tail.add_argument(
+        "--track", action="append", dest="tracks", default=None,
+        help="only these tracks: a kind ('router') or 'kind:ident' (repeatable)",
+    )
+    p_tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling as the file grows (tail -f semantics)",
+    )
+    p_tail.add_argument("--interval", type=float, default=0.2,
+                        help="poll interval in seconds with --follow")
+    p_tail.add_argument("--max-records", type=int, default=None,
+                        help="stop after printing this many records")
+    p_tail.add_argument("--idle-timeout", type=float, default=None,
+                        help="with --follow: stop after this many idle seconds")
 
     p_diff = sub.add_parser("diff", help="compare two traces modulo header")
     p_diff.add_argument("trace_a", type=Path)
@@ -331,12 +450,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         header, records = read_trace(args.trace)
         if args.format == "perfetto":
             write_perfetto(args.out, records, label=header.get("label", ""))
+        elif args.format == "prometheus":
+            text = export_prometheus(registry_from_records(records))
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
         else:
             sink = JsonlSink(args.out, label=header.get("label", ""))
             for record in records:
                 sink.write(record)
             sink.close()
         print(f"wrote {args.out}")
+        return 0
+
+    if args.command == "tail":
+        tail_trace(
+            args.trace,
+            names=args.names,
+            tracks=args.tracks,
+            follow=args.follow,
+            interval_s=args.interval,
+            max_records=args.max_records,
+            idle_timeout_s=args.idle_timeout,
+        )
         return 0
 
     if args.command == "diff":

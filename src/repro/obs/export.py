@@ -1,20 +1,30 @@
-"""Chrome/Perfetto ``trace_event`` export.
+"""Chrome/Perfetto ``trace_event`` and Prometheus text-format export.
 
-Converts :class:`~repro.obs.tracer.TraceRecord` streams into the JSON
-object format ``ui.perfetto.dev`` (and ``chrome://tracing``) load
-directly: each track *kind* becomes a process, each track ident a thread,
-with ``M`` metadata events naming both — so a run opens with one named
-track per router / NIC / flow.
+Two egress formats for the observation layer:
 
-Timestamps: trace_event ``ts``/``dur`` are microseconds; sim time is
-seconds, so values are scaled by 1e6.  Phases map 1:1 (``i`` instant with
-thread scope, ``X`` complete, ``C`` counter); counter events expose their
-numeric args as the counted series.
+* :func:`to_perfetto` converts :class:`~repro.obs.tracer.TraceRecord`
+  streams into the JSON object format ``ui.perfetto.dev`` (and
+  ``chrome://tracing``) load directly: each track *kind* becomes a
+  process, each track ident a thread, with ``M`` metadata events naming
+  both — so a run opens with one named track per router / NIC / flow.
+  Timestamps: trace_event ``ts``/``dur`` are microseconds; sim time is
+  seconds, so values are scaled by 1e6.  Phases map 1:1 (``i`` instant
+  with thread scope, ``X`` complete, ``C`` counter); counter events
+  expose their numeric args as the counted series.
+* :func:`export_prometheus` renders a live
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (counters as ``_total``, histograms as cumulative
+  ``_bucket``/``_sum``/``_count``, provider dicts flattened into
+  gauges).  ``repro.serve`` re-serves it at ``GET /metrics``; the CLI
+  (``python -m repro.obs export --format prometheus``) produces the same
+  text standalone by folding a recorded trace through a
+  :class:`~repro.obs.metrics.CountingSink`.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable
 
 from repro.obs.tracer import TraceRecord, category
@@ -92,3 +102,100 @@ def write_perfetto(path, records: Iterable[TraceRecord], label: str = "") -> Non
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(to_perfetto(records, label=label), fh, sort_keys=True)
         fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, namespace: str = "repro") -> str:
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    flat = _PROM_INVALID.sub("_", name)
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _flatten_numeric(prefix: str, obj: dict, out: list) -> None:
+    """Collect ``(dotted_name, number)`` leaves of a provider dict."""
+    for key in sorted(obj):
+        value = obj[key]
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            _flatten_numeric(name, value, out)
+        elif isinstance(value, (int, float)):
+            out.append((name, value))
+
+
+def export_prometheus(registry, namespace: str = "repro") -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    * counters  → ``<ns>_<name>_total`` (``# TYPE ... counter``)
+    * gauges    → ``<ns>_<name>`` (``# TYPE ... gauge``), read live
+    * histograms→ cumulative ``_bucket{le="..."}`` series ending in
+      ``le="+Inf"`` plus ``_sum`` and ``_count``
+    * providers → every numeric leaf of the provider's dict, flattened
+      with dots and exported as a gauge
+
+    Reading is observation-only (counters/histograms are passive;
+    gauges/providers are the same pull callables snapshots use), so
+    scraping never perturbs a running simulation.
+    """
+    lines: list[str] = []
+
+    for name, counter in sorted(registry._counters.items()):
+        metric = prometheus_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter.value)}")
+
+    gauges: list[tuple[str, float]] = [
+        (name, gauge.read()) for name, gauge in sorted(registry._gauges.items())
+    ]
+    provided: list[tuple[str, float]] = []
+    for provider_name, fn in sorted(registry._providers.items()):
+        value = fn()
+        if isinstance(value, dict):
+            _flatten_numeric(provider_name, value, provided)
+    for name, value in gauges + provided:
+        metric = prometheus_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name, histogram in sorted(registry._histograms.items()):
+        metric = prometheus_name(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def registry_from_records(records: Iterable[TraceRecord]):
+    """Fold a record stream into a fresh registry via ``CountingSink``.
+
+    The standalone path behind ``python -m repro.obs export --format
+    prometheus``: a recorded JSONL trace becomes the same ``trace.*``
+    counters and latency/wait histograms a live run would have built.
+    """
+    from repro.obs.metrics import CountingSink, MetricsRegistry
+
+    registry = MetricsRegistry()
+    sink = CountingSink(registry)
+    for record in records:
+        sink.write(record)
+    return registry

@@ -105,6 +105,11 @@ class MetricsRegistry:
         self.snapshots: list[dict] = []
         self.cadence_s: Optional[float] = None
         self._next_due = 0.0
+        #: called with each snapshot dict right after it is recorded — the
+        #: live-telemetry egress (:class:`repro.obs.bus.MetricsBus` rides
+        #: it).  Observation only: the callback sees a finished snapshot
+        #: and must not touch simulation state.
+        self.on_snapshot: Optional[Callable[[dict], None]] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -155,6 +160,8 @@ class MetricsRegistry:
         for name, fn in sorted(self._providers.items()):
             snap[name] = fn()
         self.snapshots.append(snap)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snap)
         return snap
 
     def attach(self, sim, cadence_s: float) -> Callable:

@@ -197,18 +197,22 @@ def read_trace(path) -> tuple[dict, list[TraceRecord]]:
     """Load a JSONL trace: ``(header, records)``.
 
     Accepts headerless files (header defaults to an empty dict) so the
-    reader also works on hand-built fixtures.
+    reader also works on hand-built fixtures.  Duplicate header lines —
+    the artifact of naive file concatenation, which trace merging must
+    survive — are skipped: the first header wins, later ones are neither
+    records nor errors.
     """
     header: dict = {}
     records: list[TraceRecord] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for i, line in enumerate(fh):
+        for line in fh:
             line = line.strip()
             if not line:
                 continue
             obj = json.loads(line)
-            if i == 0 and obj.get("type") == "header":
-                header = obj
+            if obj.get("type") == "header":
+                if not header:
+                    header = obj
                 continue
             records.append(TraceRecord.from_json_obj(obj))
     return header, records

@@ -203,12 +203,23 @@ def run_sweep(
     tasks: Sequence[SimTask],
     config: Optional[SweepConfig] = None,
     progress: Optional[ProgressHook] = None,
+    metrics_hook: Optional[Callable[[dict], None]] = None,
+    metrics_cadence_s: Optional[float] = None,
 ) -> SweepReport:
     """Execute ``tasks``, deduplicated by cache key, with supervision.
 
     Returns a :class:`SweepReport`; never raises for task failures — they
     land in ``report.failures`` / ``report.failed`` so one poisoned cell
     cannot take down the rest of the sweep.
+
+    ``metrics_hook`` receives live per-cell telemetry: each cadence
+    snapshot a cell's :class:`~repro.obs.metrics.MetricsRegistry` takes
+    is wrapped as ``{"key", "label", "snapshot"}`` and handed to the hook
+    as it happens (``repro.serve`` streams these over SSE).  Hooks are
+    callables and cannot cross the pickle boundary, so only the inline
+    backend (``workers <= 1``) publishes them; pooled sweeps stream
+    progress events only.  Attaching a hook never changes cell results —
+    the registry rides the simulator observer list.
     """
     config = config or SweepConfig()
     version = config.resolved_version()
@@ -321,6 +332,7 @@ def run_sweep(
         _run_inline(
             pending, config, profile_path, trace_path, checkpoint_path,
             record_success, record_failure,
+            metrics_hook=metrics_hook, metrics_cadence_s=metrics_cadence_s,
         )
     else:
         _run_pooled(
@@ -354,8 +366,20 @@ def run_sweep(
 def _run_inline(
     pending, config, profile_path, trace_path, checkpoint_path,
     record_success, record_failure,
+    metrics_hook=None, metrics_cadence_s=None,
 ) -> None:
     """Serial backend: same semantics minus crash isolation/timeouts."""
+
+    def cell_hook(cell):
+        if metrics_hook is None:
+            return None
+        key, label = cell.key, cell.task.display()
+
+        def on_snapshot(snap: dict) -> None:
+            metrics_hook({"key": key, "label": label, "snapshot": snap})
+
+        return on_snapshot
+
     queue = list(pending)
     while queue:
         cell = queue.pop(0)
@@ -367,6 +391,8 @@ def _run_inline(
                 profile_path=profile_path(cell),
                 trace_path=trace_path(cell),
                 checkpoint_path=checkpoint_path(cell),
+                metrics_hook=cell_hook(cell),
+                metrics_cadence_s=metrics_cadence_s,
             )
         except Exception as exc:  # noqa: BLE001 - ledgered, not swallowed
             if record_failure(cell, "error", f"{type(exc).__name__}: {exc}"):

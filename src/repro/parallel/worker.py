@@ -87,7 +87,7 @@ def _checkpoint_every() -> int:
 # ----------------------------------------------------------------------
 # Kind implementations
 # ----------------------------------------------------------------------
-def _run_replay(params: dict, tracer=None) -> dict:
+def _run_replay(params: dict, tracer=None, metrics=None, metrics_cadence_s=None) -> dict:
     from repro.analysis.replay import run_scenario
 
     digest = run_scenario(
@@ -96,11 +96,13 @@ def _run_replay(params: dict, tracer=None) -> dict:
         mesh_side=int(params.get("mesh_side", 4)),
         repetitions=int(params.get("repetitions", 3)),
         tracer=tracer,
+        metrics=metrics,
+        metrics_cadence_s=metrics_cadence_s,
     )
     return digest.to_dict()
 
 
-def _run_fault(params: dict, tracer=None) -> dict:
+def _run_fault(params: dict, tracer=None, metrics=None, metrics_cadence_s=None) -> dict:
     from repro.faults.campaign import FaultCampaignSpec, run_fault_scenario
     from repro.network.config import ReliabilityConfig
 
@@ -137,7 +139,7 @@ def _build_config(params: Optional[dict]):
     return None if params is None else NetworkConfig(**params)
 
 
-def _run_hotspot(params: dict, tracer=None) -> dict:
+def _run_hotspot(params: dict, tracer=None, metrics=None, metrics_cadence_s=None) -> dict:
     from repro.experiments.runner import run_hotspot_workload
 
     runs = run_hotspot_workload(
@@ -156,11 +158,13 @@ def _run_hotspot(params: dict, tracer=None) -> dict:
         track_routers=bool(params.get("track_routers", False)),
         policy_kwargs=params.get("policy_kwargs"),
         tracer=tracer,
+        metrics=metrics,
+        metrics_cadence_s=metrics_cadence_s,
     )
     return runs[params["policy"]].to_dict()
 
 
-def _run_pattern(params: dict, tracer=None) -> dict:
+def _run_pattern(params: dict, tracer=None, metrics=None, metrics_cadence_s=None) -> dict:
     from repro.experiments.runner import run_pattern_workload
 
     hosts = params.get("hosts")
@@ -181,11 +185,13 @@ def _run_pattern(params: dict, tracer=None) -> dict:
         idle_rate_mbps=float(params.get("idle_rate_mbps", 0.0)),
         policy_kwargs=params.get("policy_kwargs"),
         tracer=tracer,
+        metrics=metrics,
+        metrics_cadence_s=metrics_cadence_s,
     )
     return runs[params["policy"]].to_dict()
 
 
-def _run_selftest(params: dict, tracer=None) -> dict:
+def _run_selftest(params: dict, tracer=None, metrics=None, metrics_cadence_s=None) -> dict:
     """Supervision test double — never used by real sweeps."""
     mode = params.get("mode", "ok")
     if mode == "ok":
@@ -307,6 +313,8 @@ def execute_task(
     profile_path: Optional[str] = None,
     trace_path: Optional[str] = None,
     checkpoint_path: Optional[str] = None,
+    metrics_hook: Optional[Callable[[dict], None]] = None,
+    metrics_cadence_s: Optional[float] = None,
 ) -> dict:
     """Run one task; optionally cProfile it (``<key>.prof`` + a
     ``<key>.prof.txt`` rendering) and/or trace it through
@@ -314,10 +322,17 @@ def execute_task(
     cache entry.  Tracing never perturbs the result — the cell stays
     bit-identical to an untraced run.
 
+    ``metrics_hook`` attaches a :class:`~repro.obs.metrics.MetricsRegistry`
+    whose cadence snapshots are handed to the hook as they are taken —
+    the live-telemetry egress ``repro.serve`` streams over SSE.  The
+    registry rides the simulator observer list, so the cell's digests
+    stay bit-identical with or without it.  Hooks are callables, so they
+    only exist on the inline backend (the pool cannot pickle them).
+
     ``checkpoint_path`` opts a :data:`RESUMABLE_KINDS` cell into
-    crash-safe execution (see the module docstring).  Profiling and
-    tracing take precedence when combined: their sinks hold live file
-    handles no snapshot could carry, so such cells run one-shot."""
+    crash-safe execution (see the module docstring).  Profiling, tracing
+    and metrics hooks take precedence when combined: their sinks hold
+    live handles no snapshot could carry, so such cells run one-shot."""
     runner = TASK_KINDS.get(task.kind)
     if runner is None:
         raise ValueError(
@@ -328,6 +343,7 @@ def execute_task(
         and task.kind in RESUMABLE_KINDS
         and profile_path is None
         and trace_path is None
+        and metrics_hook is None
     ):
         return _run_resumable(task, checkpoint_path)
     tracer = None
@@ -335,12 +351,22 @@ def execute_task(
         from repro.obs import JsonlSink, Tracer
 
         tracer = Tracer(sinks=[JsonlSink(trace_path, label=task.display())])
+    metrics = None
+    if metrics_hook is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics.on_snapshot = metrics_hook
+    kwargs = {"tracer": tracer}
+    if metrics is not None:
+        kwargs["metrics"] = metrics
+        kwargs["metrics_cadence_s"] = metrics_cadence_s
     try:
         if profile_path is None:
-            return json_safe(runner(task.params, tracer=tracer))
+            return json_safe(runner(task.params, **kwargs))
         from repro.parallel.profiling import profile_call, write_profile
 
-        result, profile = profile_call(runner, task.params, tracer=tracer)
+        result, profile = profile_call(runner, task.params, **kwargs)
         write_profile(profile, profile_path)
         return json_safe(result)
     finally:

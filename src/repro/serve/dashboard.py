@@ -1,0 +1,246 @@
+"""The single-file browser dashboard served at ``GET /``.
+
+Plain HTML + vanilla JS + inline SVG — no build step, no external
+assets, works from ``file://``-hostile environments because everything
+ships in one response.  It subscribes to the SSE firehose
+(``GET /events``) and renders:
+
+* stat tiles — jobs completed, cells executed / cached, bus drops;
+* four titled single-series sparklines (live events/sec, accepted
+  throughput, zone transitions, prediction hit rate) fed by
+  ``cell.metrics`` snapshots;
+* a job table with per-job progress bars.
+
+Palette: categorical slots from the repo's validated chart palette
+(CVD-checked in both modes), applied one hue per titled sparkline;
+text always wears the text tokens, never a series color.  Dark mode is
+its own validated step set selected via ``prefers-color-scheme`` (and a
+``data-theme`` override), not an automatic flip.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro.serve — live telemetry</title>
+<style>
+:root {
+  --surface: #fcfcfb; --panel: #ffffff; --border: #e4e3df;
+  --text: #0b0b0b; --text-2: #52514e;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --bad: #c43d31;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --panel: #222220; --border: #3a3936;
+    --text: #ffffff; --text-2: #c3c2b7;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --bad: #e06156;
+  }
+}
+[data-theme="light"] {
+  --surface: #fcfcfb; --panel: #ffffff; --border: #e4e3df;
+  --text: #0b0b0b; --text-2: #52514e;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100; --bad: #c43d31;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --panel: #222220; --border: #3a3936;
+  --text: #ffffff; --text-2: #c3c2b7;
+  --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500; --bad: #e06156;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 1.25rem; background: var(--surface); color: var(--text);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 1.1rem; margin: 0 0 0.25rem; }
+.sub { color: var(--text-2); margin: 0 0 1rem; font-size: 0.85rem; }
+.grid { display: grid; gap: 0.75rem; grid-template-columns: repeat(auto-fit, minmax(170px, 1fr)); }
+.tile, .chart, .jobs {
+  background: var(--panel); border: 1px solid var(--border);
+  border-radius: 8px; padding: 0.75rem 0.9rem;
+}
+.tile .k { color: var(--text-2); font-size: 0.75rem; text-transform: uppercase; letter-spacing: 0.04em; }
+.tile .v { font-size: 1.5rem; font-weight: 600; font-variant-numeric: tabular-nums; }
+.charts { display: grid; gap: 0.75rem; grid-template-columns: repeat(auto-fit, minmax(260px, 1fr)); margin-top: 0.75rem; }
+.chart h2 { font-size: 0.8rem; margin: 0 0 0.15rem; color: var(--text-2); font-weight: 600; }
+.chart .now { font-size: 1.1rem; font-weight: 600; font-variant-numeric: tabular-nums; }
+.chart svg { display: block; width: 100%; height: 56px; margin-top: 0.3rem; }
+.jobs { margin-top: 0.75rem; }
+table { width: 100%; border-collapse: collapse; font-size: 0.85rem; }
+th { text-align: left; color: var(--text-2); font-weight: 600; border-bottom: 1px solid var(--border); padding: 0.3rem 0.5rem; }
+td { padding: 0.3rem 0.5rem; border-bottom: 1px solid var(--border); font-variant-numeric: tabular-nums; }
+.bar { background: var(--border); border-radius: 3px; height: 8px; min-width: 90px; overflow: hidden; }
+.bar > div { background: var(--s1); height: 100%; border-radius: 3px; }
+.state-done { color: var(--s3); } .state-failed { color: var(--bad); }
+.state-running { color: var(--s1); } .state-queued { color: var(--text-2); }
+#conn { font-size: 0.8rem; color: var(--text-2); }
+#conn.down { color: var(--bad); }
+</style>
+</head>
+<body>
+<h1>repro.serve — live telemetry</h1>
+<p class="sub">PR-DRB simulation-as-a-service · SSE firehose <code>/events</code> ·
+metrics <code>/metrics</code> · <span id="conn">connecting…</span></p>
+
+<div class="grid">
+  <div class="tile"><div class="k">Jobs done</div><div class="v" id="t-jobs">0</div></div>
+  <div class="tile"><div class="k">Cells executed</div><div class="v" id="t-exec">0</div></div>
+  <div class="tile"><div class="k">Cells from cache</div><div class="v" id="t-cache">0</div></div>
+  <div class="tile"><div class="k">Bus events seen</div><div class="v" id="t-events">0</div></div>
+  <div class="tile"><div class="k">Events dropped (me)</div><div class="v" id="t-drops">0</div></div>
+</div>
+
+<div class="charts">
+  <div class="chart"><h2>Live events / sec</h2>
+    <div class="now" id="n-eps">–</div><svg id="c-eps"></svg></div>
+  <div class="chart"><h2>Accepted throughput (packets delivered)</h2>
+    <div class="now" id="n-acc">–</div><svg id="c-acc"></svg></div>
+  <div class="chart"><h2>Zone transitions (expand + shrink)</h2>
+    <div class="now" id="n-zone">–</div><svg id="c-zone"></svg></div>
+  <div class="chart"><h2>Prediction hit rate</h2>
+    <div class="now" id="n-hit">–</div><svg id="c-hit"></svg></div>
+</div>
+
+<div class="jobs">
+  <table>
+    <thead><tr><th>Job</th><th>State</th><th>Progress</th><th>Cells</th>
+      <th>Executed</th><th>Cached</th><th>Wall s</th></tr></thead>
+    <tbody id="job-rows"><tr><td colspan="7" style="color:var(--text-2)">no jobs yet — POST a grid to /jobs</td></tr></tbody>
+  </table>
+</div>
+
+<script>
+"use strict";
+const MAXPTS = 120;
+const series = { eps: [], acc: [], zone: [], hit: [] };
+const colors = { eps: "--s1", acc: "--s2", zone: "--s3", hit: "--s4" };
+const jobs = new Map();
+let eventCount = 0, gapDrops = 0, lastSeq = null, jobsDone = 0;
+let cellsExec = 0, cellsCached = 0, windowEvents = 0;
+
+function css(name) { return getComputedStyle(document.body).getPropertyValue(name).trim(); }
+
+function push(key, value) {
+  const s = series[key];
+  s.push(value);
+  if (s.length > MAXPTS) s.shift();
+}
+
+function spark(id, key, fmt) {
+  const svg = document.getElementById("c-" + id);
+  const s = series[key];
+  const w = svg.clientWidth || 260, h = 56, pad = 5;
+  svg.setAttribute("viewBox", `0 0 ${w} ${h}`);
+  if (!s.length) { svg.innerHTML = ""; return; }
+  const lo = Math.min(...s), hi = Math.max(...s), span = (hi - lo) || 1;
+  const x = i => pad + i * (w - 2 * pad) / Math.max(s.length - 1, 1);
+  const y = v => h - pad - (v - lo) * (h - 2 * pad) / span;
+  const pts = s.map((v, i) => `${x(i).toFixed(1)},${y(v).toFixed(1)}`).join(" ");
+  const c = css(colors[key]);
+  const last = s[s.length - 1];
+  svg.innerHTML =
+    `<polyline points="${pts}" fill="none" stroke="${c}" stroke-width="2" ` +
+    `stroke-linejoin="round" stroke-linecap="round"/>` +
+    `<circle cx="${x(s.length - 1).toFixed(1)}" cy="${y(last).toFixed(1)}" r="4" ` +
+    `fill="${c}" stroke="${css("--panel")}" stroke-width="2"/>`;
+  document.getElementById("n-" + id).textContent = fmt(last);
+  svg.onmousemove = (ev) => {
+    const i = Math.max(0, Math.min(s.length - 1,
+      Math.round((ev.offsetX - pad) / ((w - 2 * pad) / Math.max(s.length - 1, 1)))));
+    svg.setAttribute("title", fmt(s[i]));
+    document.getElementById("n-" + id).textContent = fmt(s[i]);
+  };
+  svg.onmouseleave = () => { document.getElementById("n-" + id).textContent = fmt(last); };
+}
+
+function fmtNum(v) { return v >= 100 ? v.toFixed(0) : v.toFixed(2); }
+function fmtPct(v) { return (100 * v).toFixed(1) + "%"; }
+
+function renderJobs() {
+  const body = document.getElementById("job-rows");
+  if (!jobs.size) return;
+  const rows = [...jobs.values()].reverse().map(j => {
+    const pct = j.total ? Math.round(100 * j.completed / j.total) : 0;
+    return `<tr><td>${j.id}</td>` +
+      `<td class="state-${j.state}">${j.state}</td>` +
+      `<td><div class="bar"><div style="width:${pct}%"></div></div></td>` +
+      `<td>${j.completed}/${j.total}</td><td>${j.executed}</td>` +
+      `<td>${j.cache_hits}</td><td>${(j.wall_s || 0).toFixed(2)}</td></tr>`;
+  });
+  body.innerHTML = rows.join("");
+}
+
+function renderTiles() {
+  document.getElementById("t-jobs").textContent = jobsDone;
+  document.getElementById("t-exec").textContent = cellsExec;
+  document.getElementById("t-cache").textContent = cellsCached;
+  document.getElementById("t-events").textContent = eventCount;
+  document.getElementById("t-drops").textContent = gapDrops;
+}
+
+function handle(ev) {
+  let msg;
+  try { msg = JSON.parse(ev.data); } catch (e) { return; }
+  eventCount += 1; windowEvents += 1;
+  if (lastSeq !== null && msg.seq > lastSeq + 1) gapDrops += msg.seq - lastSeq - 1;
+  lastSeq = msg.seq;
+  const d = msg.data || {};
+  if (msg.type === "job" && d.job) {
+    jobs.set(d.job.id, d.job);
+    if (d.state === "done" || d.state === "failed") {
+      if (d.state === "done") jobsDone += 1;
+      cellsExec += d.job.executed || 0;
+      cellsCached += d.job.cache_hits || 0;
+    }
+    renderJobs();
+  } else if (msg.type === "progress" && msg.job && jobs.has(msg.job)) {
+    const j = jobs.get(msg.job);
+    if (d.completed !== undefined) j.completed = d.completed;
+    renderJobs();
+  } else if (msg.type === "cell.metrics" && d.snapshot) {
+    const snap = d.snapshot, g = snap.gauges || {}, p = snap.policy || {};
+    if (g["fabric.data_packets_delivered"] !== undefined)
+      push("acc", g["fabric.data_packets_delivered"]);
+    if (p.expansions !== undefined)
+      push("zone", (p.expansions || 0) + (p.shrinks || 0));
+    if (snap.solution_db && snap.solution_db.hit_rate !== undefined)
+      push("hit", snap.solution_db.hit_rate);
+    spark("acc", "acc", fmtNum);
+    spark("zone", "zone", fmtNum);
+    spark("hit", "hit", fmtPct);
+  }
+  renderTiles();
+}
+
+const es = new EventSource("/events");
+const conn = document.getElementById("conn");
+for (const t of ["job", "progress", "cell.metrics", "state"])
+  es.addEventListener(t, handle);
+es.onopen = () => { conn.textContent = "live"; conn.classList.remove("down"); };
+es.onerror = () => { conn.textContent = "reconnecting…"; conn.classList.add("down"); };
+
+setInterval(() => {
+  push("eps", windowEvents); windowEvents = 0;
+  spark("eps", "eps", fmtNum);
+  renderTiles();
+}, 1000);
+
+fetch("/jobs").then(r => r.json()).then(list => {
+  for (const j of list.jobs || []) {
+    jobs.set(j.id, j);
+    if (j.state === "done") {
+      jobsDone += 1; cellsExec += j.executed || 0; cellsCached += j.cache_hits || 0;
+    }
+  }
+  renderJobs(); renderTiles();
+}).catch(() => {});
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,100 @@
+"""MetricsBus: fan-out, filtering, bounded lossy queues, thread safety."""
+
+import threading
+
+from repro.obs import BusSubscription, MetricsBus
+
+
+class TestSubscription:
+    def test_offer_and_get(self):
+        sub = BusSubscription()
+        assert sub.offer({"seq": 1, "type": "x", "job": None, "data": {}})
+        event = sub.get(timeout=0.1)
+        assert event["seq"] == 1
+        assert sub.get(timeout=0.01) is None
+
+    def test_full_queue_drops_and_counts(self):
+        sub = BusSubscription(maxsize=2)
+        for seq in range(5):
+            sub.offer({"seq": seq, "type": "x", "job": None, "data": {}})
+        assert sub.dropped == 3
+        assert sub.delivered == 2
+        assert [e["seq"] for e in sub.drain()] == [0, 1]
+
+    def test_type_filter(self):
+        sub = BusSubscription(types=("progress",))
+        assert sub.wants({"type": "progress", "job": None})
+        assert not sub.wants({"type": "cell.metrics", "job": None})
+
+    def test_job_filter_passes_broadcasts(self):
+        sub = BusSubscription(job="job-1")
+        assert sub.wants({"type": "x", "job": "job-1"})
+        assert not sub.wants({"type": "x", "job": "job-2"})
+        # job-less events are broadcasts and reach every subscriber
+        assert sub.wants({"type": "x", "job": None})
+
+
+class TestBus:
+    def test_publish_assigns_monotonic_seq(self):
+        bus = MetricsBus()
+        first = bus.publish("a", {})
+        second = bus.publish("b", {})
+        assert second["seq"] == first["seq"] + 1
+
+    def test_fanout_to_matching_subscribers(self):
+        bus = MetricsBus()
+        everyone = bus.subscribe()
+        only_one = bus.subscribe(job="job-1")
+        bus.publish("progress", {"n": 1}, job="job-1")
+        bus.publish("progress", {"n": 2}, job="job-2")
+        assert len(everyone.drain()) == 2
+        assert [e["data"]["n"] for e in only_one.drain()] == [1]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = MetricsBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.publish("x", {})
+        assert bus.subscriber_count == 0
+        assert sub.drain() == []
+        assert sub.closed
+
+    def test_slow_subscriber_never_blocks_publish(self):
+        bus = MetricsBus()
+        stalled = bus.subscribe(maxsize=1)
+        healthy = bus.subscribe()
+        for _ in range(100):
+            bus.publish("x", {})
+        # publish returned 100 times without blocking; the stalled queue
+        # kept exactly one event and counted the rest as drops.
+        assert stalled.dropped == 99
+        assert len(healthy.drain()) == 100
+        assert bus.dropped_total() == 99
+
+    def test_stats_shape(self):
+        bus = MetricsBus()
+        bus.subscribe()
+        bus.publish("x", {})
+        stats = bus.stats()
+        assert stats["published"] == 1
+        assert stats["subscribers"] == 1
+        assert stats["delivered"] == 1
+        assert stats["dropped"] == 0
+
+    def test_concurrent_publish_is_gapless(self):
+        bus = MetricsBus()
+        sub = bus.subscribe(maxsize=4096)
+        threads = [
+            threading.Thread(
+                target=lambda: [bus.publish("x", {}) for _ in range(200)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = sub.drain()
+        assert len(events) == 800
+        # every sequence number 1..800 assigned exactly once
+        assert sorted(e["seq"] for e in events) == list(range(1, 801))

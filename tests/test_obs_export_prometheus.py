@@ -1,0 +1,95 @@
+"""Prometheus text-format export: grammar, histogram math, CLI path."""
+
+import re
+
+from repro.obs import MetricsRegistry, export_prometheus, registry_from_records
+from repro.obs.cli import main as obs_main
+from repro.obs.export import prometheus_name
+from repro.obs.tracer import JsonlSink, TraceRecord
+
+_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$"
+)
+
+
+def _valid(text: str) -> list:
+    return [line for line in text.splitlines() if line and not _LINE.match(line)]
+
+
+class TestNames:
+    def test_dots_become_underscores_with_namespace(self):
+        assert prometheus_name("trace.packet.drop") == "repro_trace_packet_drop"
+
+    def test_invalid_chars_sanitized(self):
+        assert prometheus_name("a-b c", namespace="") == "a_b_c"
+
+
+class TestExport:
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        registry.counter("packets.sent").inc(5)
+        registry.gauge("queue.depth", lambda: 2.5)
+        histogram = registry.histogram("lat", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 9.0):
+            histogram.observe(value)
+
+        text = export_prometheus(registry)
+        assert _valid(text) == []
+        assert "repro_packets_sent_total 5" in text
+        assert "repro_queue_depth 2.5" in text
+        # cumulative buckets: <=1 -> 1, <=2 -> 3, +Inf -> 4
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_sum 12.5" in text
+        assert "repro_lat_count 4" in text
+
+    def test_provider_dicts_flatten_to_gauges(self):
+        registry = MetricsRegistry()
+        registry.provider("policy", lambda: {"hits": 3, "nested": {"rate": 0.5}})
+        text = export_prometheus(registry)
+        assert "repro_policy_hits 3" in text
+        assert "repro_policy_nested_rate 0.5" in text
+
+    def test_non_numeric_provider_leaves_skipped(self):
+        registry = MetricsRegistry()
+        registry.provider("policy", lambda: {"name": "pr-drb", "hits": 1})
+        text = export_prometheus(registry)
+        assert "pr-drb" not in text
+        assert "repro_policy_hits 1" in text
+
+    def test_registry_from_records_counts_trace_events(self):
+        records = [
+            TraceRecord(0.0, "packet.inject", ("flow", "0-1")),
+            TraceRecord(1e-6, "packet.deliver", ("flow", "0-1"),
+                        args={"latency_s": 1e-6}),
+            TraceRecord(2e-6, "packet.deliver", ("flow", "0-1"),
+                        args={"latency_s": 2e-6}),
+        ]
+        registry = registry_from_records(records)
+        text = export_prometheus(registry)
+        assert "repro_trace_packet_inject_total 1" in text
+        assert "repro_trace_packet_deliver_total 2" in text
+        assert "repro_packet_latency_s_count 2" in text
+
+
+class TestCli:
+    def test_export_prometheus_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        sink = JsonlSink(trace, label="test")
+        sink.write(TraceRecord(0.0, "packet.inject", ("flow", "0-1")))
+        sink.write(
+            TraceRecord(1e-6, "packet.deliver", ("flow", "0-1"),
+                        args={"latency_s": 1e-6})
+        )
+        sink.close()
+
+        out = tmp_path / "metrics.prom"
+        assert obs_main(
+            ["export", str(trace), "--format", "prometheus", "--out", str(out)]
+        ) == 0
+        text = out.read_text(encoding="utf-8")
+        assert _valid(text) == []
+        assert "repro_trace_packet_deliver_total 1" in text

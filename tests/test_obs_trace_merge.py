@@ -1,0 +1,96 @@
+"""Shard-trace merging: ordering, stability, and malformed-input tolerance."""
+
+from repro.obs.trace_merge import merge_shard_traces
+from repro.obs.tracer import JsonlSink, TraceRecord, read_trace
+
+
+def _write(path, records, label=""):
+    sink = JsonlSink(path, label=label)
+    for record in records:
+        sink.write(record)
+    sink.close()
+
+
+def _record(ts, name, ident="0"):
+    return TraceRecord(ts, name, ("flow", ident))
+
+
+class TestMergeOrdering:
+    def test_out_of_order_shards_sort_by_timestamp(self, tmp_path):
+        # Shard files are each time-ordered internally, but interleave.
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write(a, [_record(1e-6, "packet.inject"), _record(3e-6, "packet.deliver")])
+        _write(b, [_record(2e-6, "packet.inject"), _record(4e-6, "packet.deliver")])
+        out = tmp_path / "merged.jsonl"
+        assert merge_shard_traces([a, b], out) == 4
+        _header, records = read_trace(out)
+        assert [r.ts for r in records] == [1e-6, 2e-6, 3e-6, 4e-6]
+
+    def test_equal_timestamps_keep_input_order(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write(a, [_record(1e-6, "from.a", "a1"), _record(1e-6, "from.a", "a2")])
+        _write(b, [_record(1e-6, "from.b", "b1")])
+        out = tmp_path / "merged.jsonl"
+        merge_shard_traces([a, b], out)
+        _header, records = read_trace(out)
+        # stable: all of shard a's equal-ts records before shard b's,
+        # each in its original record order
+        assert [r.track[1] for r in records] == ["a1", "a2", "b1"]
+
+    def test_merge_is_deterministic(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write(a, [_record(2e-6, "x"), _record(1e-6, "y")])
+        _write(b, [_record(1.5e-6, "z")])
+        out1 = tmp_path / "m1.jsonl"
+        out2 = tmp_path / "m2.jsonl"
+        merge_shard_traces([a, b], out1)
+        merge_shard_traces([a, b], out2)
+        assert out1.read_bytes() == out2.read_bytes()
+
+
+class TestMalformedInputs:
+    def test_empty_shard_files_are_tolerated(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        empty = tmp_path / "empty.jsonl"
+        headeronly = tmp_path / "headeronly.jsonl"
+        _write(a, [_record(1e-6, "packet.inject")])
+        empty.write_text("", encoding="utf-8")
+        _write(headeronly, [])  # header line, zero records
+        out = tmp_path / "merged.jsonl"
+        assert merge_shard_traces([a, empty, headeronly], out) == 1
+        _header, records = read_trace(out)
+        assert len(records) == 1
+
+    def test_duplicate_headers_skipped_not_parsed_as_records(self, tmp_path):
+        # Naive concatenation of two shard files leaves a header mid-file.
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        _write(a, [_record(1e-6, "packet.inject")], label="shard-a")
+        _write(b, [_record(2e-6, "packet.deliver")], label="shard-b")
+        concatenated = tmp_path / "cat.jsonl"
+        concatenated.write_bytes(a.read_bytes() + b.read_bytes())
+        header, records = read_trace(concatenated)
+        assert header["label"] == "shard-a"  # first header wins
+        assert [r.name for r in records] == ["packet.inject", "packet.deliver"]
+        out = tmp_path / "merged.jsonl"
+        assert merge_shard_traces([concatenated], out) == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        _write(a, [_record(1e-6, "packet.inject")])
+        with open(a, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        out = tmp_path / "merged.jsonl"
+        assert merge_shard_traces([a], out) == 1
+
+    def test_merged_output_has_single_header(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        _write(a, [_record(1e-6, "x")], label="shard-a")
+        out = tmp_path / "merged.jsonl"
+        merge_shard_traces([a], out, label="combined")
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert sum(1 for line in lines if '"type":"header"' in line.replace(" ", "")) == 1
+        assert '"label":"combined"' in lines[0].replace(" ", "")
